@@ -1,0 +1,55 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all          # everything, paper/10 scale
+//	experiments -run fig5,table2  # a subset
+//	experiments -run fig1 -small  # fast test scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"sybilwild/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		run   = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		seed  = flag.Int64("seed", 1, "deterministic seed")
+		small = flag.Bool("small", false, "test-scale workloads (fast)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var r *experiments.Runner
+	if *small {
+		r = experiments.NewSmallRunner(*seed)
+	} else {
+		r = experiments.NewRunner(*seed)
+	}
+
+	ids := experiments.IDs()
+	if *run != "all" {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		rep, err := r.Run(strings.TrimSpace(id))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(rep.String())
+	}
+}

@@ -1,0 +1,82 @@
+// Command renrend runs the OSN simulation as a network service: it
+// listens on a TCP port and streams every operational-log event to
+// connected subscribers as newline-delimited JSON — the role Renren's
+// production log feed played for the paper's deployed detector.
+//
+// The simulation starts once the first subscriber connects (so a
+// detector daemon never misses the campaign), then streams the whole
+// campaign and exits.
+//
+// Usage:
+//
+//	renrend -addr 127.0.0.1:7474 -normals 6000 -sybils 80 -hours 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"sybilwild/internal/agents"
+	"sybilwild/internal/osn"
+	"sybilwild/internal/sim"
+	"sybilwild/internal/stream"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("renrend: ")
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7474", "listen address")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+		normals = flag.Int("normals", 6000, "background user population")
+		sybils  = flag.Int("sybils", 80, "Sybil accounts")
+		hours   = flag.Int64("hours", 400, "observation window (hours)")
+		wait    = flag.Duration("wait", 30*time.Second, "max wait for a first subscriber")
+		linger  = flag.Duration("linger", 2*time.Second, "drain time before exit")
+		maxRate = flag.Int("maxrate", 40000, "max events/second streamed (0 = unlimited); pacing lets slow subscribers keep up")
+	)
+	flag.Parse()
+
+	srv, err := stream.NewServer(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("listening on %s; waiting up to %v for a subscriber\n", srv.Addr(), *wait)
+
+	deadline := time.Now().Add(*wait)
+	for srv.NumClients() == 0 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if srv.NumClients() == 0 {
+		fmt.Println("no subscriber; streaming anyway")
+	}
+
+	pop := agents.NewPopulation(*seed, agents.DefaultParams())
+	pop.Net.SetKeepLog(false) // observers only; no need to retain
+	sent := 0
+	windowStart := time.Now()
+	pop.Net.RegisterObserver(func(ev osn.Event) {
+		srv.Broadcast(ev)
+		if *maxRate <= 0 {
+			return
+		}
+		sent++
+		if sent%1024 == 0 {
+			// Simple token pacing: never exceed maxRate on average.
+			need := time.Duration(sent) * time.Second / time.Duration(*maxRate)
+			if elapsed := time.Since(windowStart); elapsed < need {
+				time.Sleep(need - elapsed)
+			}
+		}
+	})
+	pop.Bootstrap(*normals)
+	pop.LaunchSybils(*sybils, (*hours)/4*sim.TicksPerHour)
+	pop.RunFor(*hours * sim.TicksPerHour)
+
+	fmt.Println(pop.Stats())
+	fmt.Printf("campaign complete; dropped=%d; draining %v\n", srv.Dropped(), *linger)
+	time.Sleep(*linger)
+}

@@ -1,0 +1,76 @@
+// Adaptive thresholds: the paper's production detector "uses an
+// adaptive feedback scheme to dynamically tune threshold parameters on
+// the fly" (§2.3). This example shows why that matters: a second wave
+// of Sybils lowers its invitation rate below the original frequency
+// cut, the static rule goes blind, and the feedback loop — fed by a
+// trickle of manually audited verdicts — re-fits the cuts and recovers.
+package main
+
+import (
+	"fmt"
+
+	"sybilwild"
+	"sybilwild/internal/agents"
+	"sybilwild/internal/detector"
+	"sybilwild/internal/features"
+	"sybilwild/internal/osn"
+	"sybilwild/internal/sim"
+	"sybilwild/internal/stats"
+)
+
+// wave runs a campaign whose Sybils use the given invitation-rate
+// median (log-space mu) and returns the labelled dataset.
+func wave(seed int64, rateMuLog float64) (*agents.Population, features.Dataset) {
+	p := agents.DefaultParams()
+	p.SybilRateMuLog = rateMuLog
+	pop := agents.NewPopulation(seed, p)
+	pop.Bootstrap(3000)
+	pop.LaunchSybils(40, 100*sim.TicksPerHour)
+	pop.RunFor(400 * sim.TicksPerHour)
+	return pop, features.Labelled(pop.Net, pop.Sybils, pop.Normals)
+}
+
+func tpr(c interface{ TPR() float64 }) string { return fmt.Sprintf("%.1f%%", 100*c.TPR()) }
+
+func main() {
+	// Wave 1: classic Sybils (median 55 invites/hour). Fit the rule.
+	_, ds1 := wave(1, 4.007)
+	rule := sybilwild.FitRule(ds1)
+	fmt.Println("wave 1 rule:", rule)
+	c1 := rule.Evaluate(ds1)
+	fmt.Printf("wave 1 detection: TPR %s, FPR %.2f%%\n", tpr(&c1), 100*c1.FPR())
+
+	// Wave 2: attackers adapt — median rate drops to ≈8/hour.
+	_, ds2 := wave(2, 2.08)
+	c2 := rule.Evaluate(ds2)
+	fmt.Printf("\nwave 2 (drifted sybils) with the static wave-1 rule: TPR %s — blind\n", tpr(&c2))
+
+	// The adaptive detector keeps auditing: Renren's verification team
+	// labels a sample of flagged/suspicious accounts plus a control
+	// sample of normal users; each verdict feeds the tuner.
+	ad := detector.NewAdaptive(rule, 600, 40)
+	audited := 0
+	for i, v := range ds2.Vectors {
+		if v.OutSent < 5 {
+			continue
+		}
+		// All confirmed Sybils reach the audit trail (they get reported
+		// or eventually caught), plus a slice of the normal population.
+		if ds2.Labels[i] || (audited < 400 && i%3 == 0) {
+			ad.Audit(v, ds2.Labels[i])
+			audited++
+		}
+	}
+	var c3 stats.Confusion
+	for i, v := range ds2.Vectors {
+		c3.Observe(ds2.Labels[i], ad.Classify(v))
+	}
+	fmt.Printf("adaptive rule after %d audits: %v\n", audited, ad.Rule)
+	fmt.Printf("wave 2 with adaptive detector: TPR %s, FPR %.2f%%\n", tpr(&c3), 100*c3.FPR())
+	fmt.Println("\nNote the re-fit clustering cut: low-and-slow Sybils accumulate few")
+	fmt.Println("friends, which *raises* their first-50 cc — the feature itself loses")
+	fmt.Println("power, which is the paper's closing point: attackers adapt, and")
+	fmt.Println("detection techniques must keep adapting with them.")
+
+	_ = osn.Normal
+}

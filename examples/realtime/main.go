@@ -1,0 +1,84 @@
+// Realtime: the deployed architecture in one process — an OSN
+// simulation streaming its operational log over TCP (renrend's role)
+// and a detector daemon consuming the feed, reconstructing the graph,
+// and flagging Sybils live (detectd's role).
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"sybilwild/internal/agents"
+	"sybilwild/internal/detector"
+	"sybilwild/internal/features"
+	"sybilwild/internal/graph"
+	"sybilwild/internal/osn"
+	"sybilwild/internal/sim"
+	"sybilwild/internal/stream"
+)
+
+func main() {
+	srv, err := stream.NewServer("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("event feed on", srv.Addr())
+
+	// --- detector side (would be cmd/detectd in production) ---
+	rule := detector.Rule{OutAcceptMax: 0.5, FreqMin: 20, CCMax: 0.05, MinObserved: 10}
+	g := graph.New(0)
+	tracker := features.NewTracker(g)
+	flagged := map[osn.AccountID]bool{}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		err := stream.Subscribe(srv.Addr(), func(ev osn.Event) {
+			for graph.NodeID(g.NumNodes()) <= max(ev.Actor, ev.Target) {
+				g.AddNode()
+			}
+			if ev.Type == osn.EvFriendAccept {
+				g.AddEdge(ev.Actor, ev.Target, ev.At)
+			}
+			tracker.Update(ev)
+			if ev.Type == osn.EvFriendRequest && !flagged[ev.Actor] {
+				if v := tracker.VectorOf(ev.Actor); rule.Classify(v) {
+					flagged[ev.Actor] = true
+				}
+			}
+		}, 5)
+		if err != nil {
+			fmt.Println("subscriber error:", err)
+		}
+	}()
+
+	// --- OSN side (would be cmd/renrend in production) ---
+	pop := agents.NewPopulation(3, agents.DefaultParams())
+	pop.Net.RegisterObserver(func(ev osn.Event) { srv.Broadcast(ev) })
+	pop.Bootstrap(3000)
+	pop.LaunchSybils(40, 100*sim.TicksPerHour)
+	pop.RunFor(400 * sim.TicksPerHour)
+	srv.Close() // end of feed
+	wg.Wait()
+
+	// Score the daemon's verdicts against ground truth.
+	tp, fp := 0, 0
+	for id := range flagged {
+		if pop.Net.Account(id).Kind == osn.Sybil {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	fmt.Printf("streamed campaign: %s\n", pop.Stats())
+	fmt.Printf("flagged over the wire: %d sybils (of %d), %d normals (of %d)\n",
+		tp, len(pop.Sybils), fp, len(pop.Normals))
+	fmt.Printf("events dropped by feed backpressure: %d\n", srv.Dropped())
+}
+
+func max(a, b osn.AccountID) osn.AccountID {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+package agents
+
+import (
+	"sybilwild/internal/osn"
+	"sybilwild/internal/sim"
+	"sybilwild/internal/stats"
+)
+
+// normalAgent drives one normal user: a slow trickle of invitations to
+// acquaintances (mostly friends-of-friends, sometimes someone from a
+// different circle) and periodic inbox processing.
+type normalAgent struct {
+	pop *Population
+	id  osn.AccountID
+	r   *stats.Rand
+}
+
+func (a *normalAgent) start() {
+	a.scheduleInvite()
+	a.scheduleInbox()
+}
+
+func (a *normalAgent) scheduleInvite() {
+	rate := a.pop.trait(a.id).ratePerHour
+	if rate <= 0 {
+		return
+	}
+	gapHours := a.r.Exponential(1 / rate)
+	a.pop.Eng.After(sim.Time(gapHours*float64(sim.TicksPerHour))+1, a.invite)
+}
+
+func (a *normalAgent) scheduleInbox() {
+	gapHours := a.r.Exponential(a.pop.P.NormalInboxMeanHours)
+	a.pop.Eng.After(sim.Time(gapHours*float64(sim.TicksPerHour))+1, a.checkInbox)
+}
+
+func (a *normalAgent) invite() {
+	if a.done() {
+		return
+	}
+	if target, ok := a.pickTarget(); ok {
+		// Errors (duplicate request, races with bans) are expected
+		// business outcomes, not failures.
+		_ = a.pop.Net.SendFriendRequest(a.id, target, a.pop.Eng.Now())
+	}
+	a.scheduleInvite()
+}
+
+// pickTarget chooses an invitation target: with probability
+// NormalFoFProb a friend-of-friend (closing a triangle, the Figure 4
+// clustering signal), otherwise a random other normal user (an offline
+// acquaintance from a different circle).
+func (a *normalAgent) pickTarget() (osn.AccountID, bool) {
+	g := a.pop.Net.Graph()
+	if a.r.Bernoulli(a.pop.P.NormalFoFProb) {
+		nbrs := g.Neighbors(a.id)
+		if len(nbrs) > 0 {
+			f := nbrs[a.r.Intn(len(nbrs))].To
+			fn := g.Neighbors(f)
+			if len(fn) > 0 {
+				cand := fn[a.r.Intn(len(fn))].To
+				if cand != a.id && !g.HasEdge(a.id, cand) && !a.pop.Net.Account(cand).Banned {
+					return cand, true
+				}
+			}
+		}
+		// Fall through to a random pick when triangle closing fails.
+	}
+	if len(a.pop.Normals) < 2 {
+		return 0, false
+	}
+	for try := 0; try < 8; try++ {
+		cand := a.pop.Normals[a.r.Intn(len(a.pop.Normals))]
+		if cand != a.id && !g.HasEdge(a.id, cand) && !a.pop.Net.Account(cand).Banned {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
+func (a *normalAgent) checkInbox() {
+	if a.done() {
+		return
+	}
+	now := a.pop.Eng.Now()
+	// Snapshot: responding mutates the pending queue.
+	pend := append([]osn.PendingRequest(nil), a.pop.Net.PendingFor(a.id)...)
+	for _, p := range pend {
+		accept := a.pop.decideAccept(a.id, p.From)
+		_ = a.pop.Net.RespondFriendRequest(a.id, p.From, accept, now)
+	}
+	a.scheduleInbox()
+}
+
+func (a *normalAgent) done() bool {
+	return a.pop.Net.Account(a.id).Banned || a.pop.Eng.Now() >= a.pop.End
+}

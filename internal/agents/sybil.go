@@ -1,0 +1,172 @@
+package agents
+
+import (
+	"sybilwild/internal/graph"
+	"sybilwild/internal/osn"
+	"sybilwild/internal/sim"
+	"sybilwild/internal/stats"
+)
+
+// Tool models one of the commercial Sybil-management tools of Table 3.
+// Each tool keeps a target queue refilled by popularity-biased snowball
+// sampling over the live social graph — the mechanism the paper infers
+// from the tools' advertised functionality (§3.4). Because the sample
+// is popularity-biased and successful Sybils become popular, tools
+// occasionally hand out *Sybil* targets, which is exactly how the
+// paper's accidental Sybil edges form.
+type Tool struct {
+	Name  string
+	Bias  float64 // snowball popularity bias in [0, 1]
+	Batch int     // targets fetched per snowball run
+
+	// Fresh reports whether an account is "young" (created inside the
+	// attack window). Tools hunt established super nodes — profiles
+	// with history, shared content, and search visibility — so a young
+	// account that surfaces in the crawl is only used with probability
+	// FreshTargetP. Sybil accounts are all young, which is what keeps
+	// accidental Sybil→Sybil targeting rare (≈20% of Sybils end up with
+	// any Sybil edge in the paper) without the tool ever knowing which
+	// accounts are Sybils.
+	Fresh        func(osn.AccountID) bool
+	FreshTargetP float64
+
+	r     *stats.Rand
+	queue []osn.AccountID
+}
+
+// NewTool builds a tool strategy.
+func NewTool(name string, bias float64, batch int, r *stats.Rand) *Tool {
+	return &Tool{Name: name, Bias: bias, Batch: batch, FreshTargetP: 1, r: r}
+}
+
+// NextTarget pops the next usable target, refilling the queue via
+// snowball sampling when empty. usable filters out targets the calling
+// Sybil cannot request (itself, existing friends, pending requests,
+// banned accounts).
+func (t *Tool) NextTarget(g *graph.Graph, usable func(osn.AccountID) bool) (osn.AccountID, bool) {
+	for attempts := 0; attempts < 4; attempts++ {
+		for len(t.queue) > 0 {
+			id := t.queue[len(t.queue)-1]
+			t.queue = t.queue[:len(t.queue)-1]
+			if !usable(id) {
+				continue
+			}
+			if t.Fresh != nil && t.Fresh(id) && !t.r.Bernoulli(t.FreshTargetP) {
+				continue
+			}
+			return id, true
+		}
+		t.refill(g)
+		if len(t.queue) == 0 {
+			break
+		}
+	}
+	return 0, false
+}
+
+func (t *Tool) refill(g *graph.Graph) {
+	n := g.NumNodes()
+	if n == 0 {
+		return
+	}
+	// Seed the snowball from accounts scattered across the graph, so a
+	// batch mixes locally-popular users from many regions rather than
+	// one tight neighbourhood (tools crawl from whatever entry points
+	// they have). More seeds → targets less interconnected → the low
+	// Sybil clustering coefficient of Figure 4 emerges.
+	nSeeds := t.Batch / 4
+	if nSeeds < 3 {
+		nSeeds = 3
+	}
+	seeds := make([]graph.NodeID, 0, nSeeds)
+	for i := 0; i < nSeeds; i++ {
+		seeds = append(seeds, graph.NodeID(t.r.Intn(n)))
+	}
+	sample := g.Snowball(t.r, seeds, t.Batch, t.Bias)
+	// Keep discovery order: it interleaves regions, so consecutive
+	// targets come from different neighbourhoods. (Sorting the batch by
+	// global degree would hand every Sybil the same interconnected hub
+	// clique as its first friends — an artifact, not tool behaviour.)
+	stats.Shuffle(t.r, sample)
+	t.queue = append(t.queue, sample...)
+}
+
+// sybilAgent drives one Sybil account: aggressive invitation bursts
+// against tool-provided targets while active, and near-immediate
+// acceptance of every incoming request (Figure 3).
+type sybilAgent struct {
+	pop  *Population
+	id   osn.AccountID
+	tool *Tool
+	r    *stats.Rand
+}
+
+func (a *sybilAgent) start() {
+	a.scheduleInvite()
+	a.scheduleInbox()
+}
+
+// burstCadenceHours is how often a Sybil's tool wakes up to fire a
+// batch of requests. Sending in batches decouples the achievable
+// request rate from the 1-tick (1-minute) simulation resolution:
+// a 60+/hour Sybil simply sends several requests per wakeup.
+const burstCadenceHours = 0.2
+
+func (a *sybilAgent) scheduleInvite() {
+	tr := a.pop.trait(a.id)
+	if a.pop.Eng.Now() >= tr.activeUntil {
+		return // campaign over; the account goes dormant but keeps accepting
+	}
+	gapHours := a.r.Exponential(burstCadenceHours)
+	ticks := sim.Time(gapHours*float64(sim.TicksPerHour)) + 1
+	a.pop.Eng.After(ticks, func() {
+		a.invite(float64(ticks) / float64(sim.TicksPerHour))
+	})
+}
+
+func (a *sybilAgent) invite(elapsedHours float64) {
+	if a.banned() || a.pop.Eng.Now() >= a.pop.End {
+		return
+	}
+	net := a.pop.Net
+	g := net.Graph()
+	usable := func(id osn.AccountID) bool {
+		if id == a.id || net.Account(id).Banned || g.HasEdge(a.id, id) {
+			return false
+		}
+		for _, p := range net.PendingFor(id) {
+			if p.From == a.id {
+				return false
+			}
+		}
+		return true
+	}
+	n := a.r.Poisson(a.pop.trait(a.id).ratePerHour * elapsedHours)
+	for i := 0; i < n; i++ {
+		target, ok := a.tool.NextTarget(g, usable)
+		if !ok {
+			break
+		}
+		_ = net.SendFriendRequest(a.id, target, a.pop.Eng.Now())
+	}
+	a.scheduleInvite()
+}
+
+func (a *sybilAgent) scheduleInbox() {
+	gapHours := a.r.Exponential(a.pop.P.SybilInboxMeanHours)
+	a.pop.Eng.After(sim.Time(gapHours*float64(sim.TicksPerHour))+1, a.checkInbox)
+}
+
+func (a *sybilAgent) checkInbox() {
+	if a.banned() || a.pop.Eng.Now() >= a.pop.End {
+		return
+	}
+	now := a.pop.Eng.Now()
+	pend := append([]osn.PendingRequest(nil), a.pop.Net.PendingFor(a.id)...)
+	for _, p := range pend {
+		_ = a.pop.Net.RespondFriendRequest(a.id, p.From, true, now)
+	}
+	a.scheduleInbox()
+}
+
+func (a *sybilAgent) banned() bool { return a.pop.Net.Account(a.id).Banned }

@@ -1,0 +1,132 @@
+package agents
+
+import (
+	"testing"
+
+	"sybilwild/internal/osn"
+	"sybilwild/internal/sim"
+	"sybilwild/internal/stats"
+)
+
+// TestToolFreshFilterRejectsYoungAccounts verifies the mechanism that
+// keeps accidental Sybil edges rare: young accounts surface from the
+// crawl only with probability FreshTargetP.
+func TestToolFreshFilterRejectsYoungAccounts(t *testing.T) {
+	net := osn.NewNetwork()
+	r := stats.NewRand(5)
+	p := DefaultParams()
+	ids := BuildBackground(net, r, p, 300, 1000)
+	g := net.Graph()
+
+	tool := NewTool("t", 0.8, 50, stats.NewRand(6))
+	// Mark half of the accounts "fresh".
+	fresh := map[osn.AccountID]bool{}
+	for i, id := range ids {
+		if i%2 == 0 {
+			fresh[id] = true
+		}
+	}
+	tool.Fresh = func(id osn.AccountID) bool { return fresh[id] }
+	tool.FreshTargetP = 0 // absolute rejection
+
+	for i := 0; i < 100; i++ {
+		id, ok := tool.NextTarget(g, func(osn.AccountID) bool { return true })
+		if !ok {
+			break
+		}
+		if fresh[id] {
+			t.Fatalf("fresh account %d surfaced with FreshTargetP=0", id)
+		}
+	}
+}
+
+func TestToolFreshFilterProbabilistic(t *testing.T) {
+	net := osn.NewNetwork()
+	r := stats.NewRand(7)
+	ids := BuildBackground(net, r, DefaultParams(), 300, 1000)
+	g := net.Graph()
+	tool := NewTool("t", 0.8, 50, stats.NewRand(8))
+	fresh := map[osn.AccountID]bool{}
+	for _, id := range ids {
+		fresh[id] = true // everything fresh
+	}
+	tool.Fresh = func(id osn.AccountID) bool { return fresh[id] }
+	tool.FreshTargetP = 0.5
+	got := 0
+	for i := 0; i < 200; i++ {
+		if _, ok := tool.NextTarget(g, func(osn.AccountID) bool { return true }); ok {
+			got++
+		}
+	}
+	if got == 0 {
+		t.Fatal("probabilistic fresh filter rejected everything")
+	}
+}
+
+// TestToolShares verifies the market-share assignment matches
+// configuration within sampling tolerance.
+func TestToolShares(t *testing.T) {
+	pop := NewPopulation(11, DefaultParams())
+	pop.Bootstrap(100)
+	r := stats.NewRand(12)
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[pop.pickTool(r).Name]++
+	}
+	frac := func(name string) float64 { return float64(counts[name]) / 10000 }
+	if f := frac("Renren Marketing Assistant V1.0"); f < 0.46 || f > 0.54 {
+		t.Fatalf("marketing share = %v, want ≈0.5", f)
+	}
+	if f := frac("Renren Super Node Collector V1.0"); f < 0.26 || f > 0.34 {
+		t.Fatalf("super-node share = %v, want ≈0.3", f)
+	}
+	if f := frac("Renren Almighty Assistant V5.8"); f < 0.16 || f > 0.24 {
+		t.Fatalf("almighty share = %v, want ≈0.2", f)
+	}
+}
+
+// TestSybilBurstSending verifies a Sybil's realized request volume
+// tracks its configured rate (the Figure 1 signal) despite the
+// burst-batched scheduling.
+func TestSybilBurstSending(t *testing.T) {
+	pop := NewPopulation(13, DefaultParams())
+	pop.Bootstrap(3000)
+	pop.LaunchSybils(30, sim.TicksPerHour)
+	pop.RunFor(400 * sim.TicksPerHour)
+
+	sent := map[osn.AccountID]int{}
+	firstAt := map[osn.AccountID]int64{}
+	lastAt := map[osn.AccountID]int64{}
+	for _, ev := range pop.Net.Events() {
+		if ev.Type != osn.EvFriendRequest {
+			continue
+		}
+		if pop.Net.Account(ev.Actor).Kind != osn.Sybil {
+			continue
+		}
+		sent[ev.Actor]++
+		if _, ok := firstAt[ev.Actor]; !ok {
+			firstAt[ev.Actor] = ev.At
+		}
+		lastAt[ev.Actor] = ev.At
+	}
+	checked := 0
+	for _, id := range pop.Sybils {
+		if sent[id] < 50 {
+			continue // short-lived account; rate estimate too noisy
+		}
+		spanHours := float64(lastAt[id]-firstAt[id]) / float64(sim.TicksPerHour)
+		if spanHours <= 1 {
+			continue
+		}
+		realized := float64(sent[id]) / spanHours
+		want := pop.trait(id).ratePerHour
+		if realized < want*0.5 || realized > want*1.8 {
+			t.Errorf("sybil %d realized %.1f/h vs configured %.1f/h", id, realized, want)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d sybils checkable", checked)
+	}
+}

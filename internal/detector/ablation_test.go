@@ -1,0 +1,114 @@
+package detector
+
+import (
+	"testing"
+
+	"sybilwild/internal/features"
+	"sybilwild/internal/stats"
+)
+
+func ablationDataset(n int) features.Dataset {
+	r := stats.NewRand(5)
+	var ds features.Dataset
+	for i := 0; i < n; i++ {
+		s := sybilVec()
+		s.Freq1h = 40 + r.Float64()*40
+		s.OutAccept = 0.15 + r.Float64()*0.2
+		s.CC = r.Float64() * 0.002
+		s.InAccept = 1
+		ds.Vectors = append(ds.Vectors, s)
+		ds.Labels = append(ds.Labels, true)
+
+		v := normalVec()
+		v.Freq1h = r.Float64() * 2
+		v.OutAccept = 0.6 + r.Float64()*0.4
+		v.CC = 0.03 + r.Float64()*0.1
+		v.InAccept = r.Float64()
+		ds.Vectors = append(ds.Vectors, v)
+		ds.Labels = append(ds.Labels, false)
+	}
+	return ds
+}
+
+func TestEvaluateFeaturesSeparable(t *testing.T) {
+	ds := ablationDataset(100)
+	evals := EvaluateFeatures(ds, 5, 5, 1)
+	if len(evals) != len(FeatureNames) {
+		t.Fatalf("evals = %d", len(evals))
+	}
+	for _, e := range evals {
+		if e.Name == "freq400h" {
+			continue // not varied in this synthetic set
+		}
+		if acc := e.Confusion.Accuracy(); acc < 0.95 {
+			t.Errorf("%s standalone accuracy = %.3f on separable data", e.Name, acc)
+		}
+	}
+	// Directions must match the paper's semantics.
+	byName := map[string]FeatureEval{}
+	for _, e := range evals {
+		byName[e.Name] = e
+	}
+	if byName["freq1h"].SybilBelow {
+		t.Error("freq1h direction inverted: Sybils are high-frequency")
+	}
+	if !byName["outAccept"].SybilBelow {
+		t.Error("outAccept direction inverted: Sybils have low accept ratios")
+	}
+	if !byName["cc"].SybilBelow {
+		t.Error("cc direction inverted: Sybils have low clustering")
+	}
+}
+
+func TestEvaluateFeaturesMinObserved(t *testing.T) {
+	var ds features.Dataset
+	// Every account below the observation floor: all evals empty.
+	for i := 0; i < 10; i++ {
+		v := sybilVec()
+		v.OutSent = 1
+		ds.Vectors = append(ds.Vectors, v)
+		ds.Labels = append(ds.Labels, true)
+	}
+	evals := EvaluateFeatures(ds, 5, 5, 1)
+	for _, e := range evals {
+		total := e.Confusion.TP + e.Confusion.TN + e.Confusion.FP + e.Confusion.FN
+		if total != 0 {
+			t.Fatalf("%s evaluated %d filtered samples", e.Name, total)
+		}
+	}
+}
+
+func TestEvaluateFeaturesCVCoversEverySample(t *testing.T) {
+	ds := ablationDataset(40)
+	evals := EvaluateFeatures(ds, 5, 4, 2)
+	for _, e := range evals {
+		total := e.Confusion.TP + e.Confusion.TN + e.Confusion.FP + e.Confusion.FN
+		if total != len(ds.Vectors) {
+			t.Fatalf("%s covered %d of %d samples", e.Name, total, len(ds.Vectors))
+		}
+	}
+}
+
+func TestFitStumpDirections(t *testing.T) {
+	// Sybils high.
+	var xs []sample
+	for i := 0; i < 20; i++ {
+		xs = append(xs, sample{50 + float64(i), true})
+		xs = append(xs, sample{float64(i), false})
+	}
+	cut, below := fitStump(xs)
+	if below {
+		t.Fatal("direction wrong for sybils-high data")
+	}
+	if cut < 19 || cut > 50 {
+		t.Fatalf("cut = %v", cut)
+	}
+	// Sybils low.
+	for i := range xs {
+		xs[i].sybil = !xs[i].sybil
+	}
+	_, below = fitStump(xs)
+	if !below {
+		t.Fatal("direction wrong for sybils-low data")
+	}
+}

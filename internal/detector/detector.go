@@ -1,0 +1,178 @@
+// Package detector implements the paper's primary contribution: a
+// measurement-calibrated, threshold-based real-time Sybil detector
+// (§2.3), together with the adaptive threshold tuning the production
+// deployment used and evaluation helpers.
+//
+// The published rule flags an account as a Sybil when its
+// outgoing-request accept ratio, its invitation frequency, and its
+// first-50-friends clustering coefficient all fall on the Sybil side
+// of their thresholds. (The arXiv text prints the frequency condition
+// as "frequency < 20", which contradicts Figure 1's finding that high
+// frequency indicates Sybils; we follow the figure's semantics:
+// frequency above threshold is Sybil-like.)
+package detector
+
+import (
+	"fmt"
+
+	"sybilwild/internal/features"
+	"sybilwild/internal/stats"
+)
+
+// Rule is the three-feature conjunctive threshold classifier of §2.3.
+// An account is flagged as Sybil when ALL of:
+//
+//	OutAccept < OutAcceptMax  ∧  Freq1h > FreqMin  ∧  CC < CCMax
+//
+// MinObserved guards the accept-ratio term: accounts with fewer
+// outgoing requests than MinObserved are never flagged (their ratio is
+// statistically meaningless, and flagging fresh accounts would be all
+// false positives).
+type Rule struct {
+	OutAcceptMax float64
+	FreqMin      float64
+	CCMax        float64
+	MinObserved  int
+}
+
+// PaperRule returns the thresholds printed in the paper. Note the cc
+// threshold is calibrated to Renren's 120M-user graph; on the smaller
+// simulated graphs the adaptive tuner (or FitRule) finds the
+// scale-appropriate value.
+func PaperRule() Rule {
+	return Rule{OutAcceptMax: 0.5, FreqMin: 20, CCMax: 0.01, MinObserved: 5}
+}
+
+// Classify reports whether the rule flags v as a Sybil.
+func (r Rule) Classify(v features.Vector) bool {
+	if v.OutSent < r.MinObserved {
+		return false
+	}
+	return v.OutAccept < r.OutAcceptMax && v.Freq1h > r.FreqMin && v.CC < r.CCMax
+}
+
+// String renders the rule like the paper does.
+func (r Rule) String() string {
+	return fmt.Sprintf("outAccept < %.2f ∧ freq > %.1f/h ∧ cc < %.4g (min %d requests)",
+		r.OutAcceptMax, r.FreqMin, r.CCMax, r.MinObserved)
+}
+
+// Evaluate runs the rule over a labelled dataset and returns the
+// confusion matrix in the paper's Table 1 layout.
+func (r Rule) Evaluate(ds features.Dataset) stats.Confusion {
+	var c stats.Confusion
+	for i, v := range ds.Vectors {
+		c.Observe(ds.Labels[i], r.Classify(v))
+	}
+	return c
+}
+
+// FitRule learns the three thresholds from labelled data by fitting a
+// decision stump per feature (the cut minimizing misclassifications
+// for that feature alone) and keeping MinObserved from the seed rule.
+// This is the offline analogue of what the adaptive scheme does
+// online, and is how the rule transfers across graph scales.
+func FitRule(ds features.Dataset, seed Rule) Rule {
+	var out, freq, cc []sample
+	for i, v := range ds.Vectors {
+		if v.OutSent < seed.MinObserved {
+			continue
+		}
+		out = append(out, sample{v.OutAccept, ds.Labels[i]})
+		freq = append(freq, sample{v.Freq1h, ds.Labels[i]})
+		cc = append(cc, sample{v.CC, ds.Labels[i]})
+	}
+	r := seed
+	if len(out) > 0 {
+		// Sybil side is below for OutAccept and CC, above for Freq.
+		r.OutAcceptMax = bestCut(out, true)
+		r.FreqMin = bestCut(freq, false)
+		r.CCMax = bestCut(cc, true)
+	}
+	return r
+}
+
+type sample struct {
+	x     float64
+	sybil bool
+}
+
+// bestCut finds the threshold minimizing 1-D misclassification error.
+// If sybilBelow, values < cut are classified Sybil; otherwise values >
+// cut are.
+func bestCut(xs []sample, sybilBelow bool) float64 {
+	sorted := append([]sample(nil), xs...)
+	// Insertion sort by x: datasets are small (ground truth ~2000).
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].x < sorted[j-1].x; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	totalSybil := 0
+	for _, s := range sorted {
+		if s.sybil {
+			totalSybil++
+		}
+	}
+	totalNormal := len(sorted) - totalSybil
+
+	// Sweep cut positions between consecutive distinct values.
+	// below[i] = counts among sorted[0..i).
+	bestErr := len(sorted) + 1
+	bestCut := 0.0
+	sybBelow, normBelow := 0, 0
+	consider := func(cut float64) {
+		var errs int
+		if sybilBelow {
+			// Sybil iff x < cut: errors = normals below + sybils at/above.
+			errs = normBelow + (totalSybil - sybBelow)
+		} else {
+			// Sybil iff x > cut: errors = sybils at/below + normals above.
+			errs = sybBelow + (totalNormal - normBelow)
+		}
+		if errs < bestErr {
+			bestErr = errs
+			bestCut = cut
+		}
+	}
+	consider(sorted[0].x) // cut below everything
+	for i := 0; i < len(sorted); i++ {
+		if sorted[i].sybil {
+			sybBelow++
+		} else {
+			normBelow++
+		}
+		if i+1 < len(sorted) {
+			if sorted[i+1].x != sorted[i].x {
+				consider((sorted[i].x + sorted[i+1].x) / 2)
+			}
+		} else {
+			consider(sorted[i].x + 1)
+		}
+	}
+	return bestCut
+}
+
+// FrequencySweep evaluates a frequency-only detector (Sybil iff
+// Freq1h ≥ cut) at each candidate cut, returning (TPR, FPR) pairs —
+// the data behind the paper's "40 requests/hour catches ≈70% of Sybils
+// with no false positives" claim.
+type SweepPoint struct {
+	Cut float64
+	TPR float64
+	FPR float64
+}
+
+// FrequencySweep computes detection/false-positive rates for a range
+// of frequency-only thresholds.
+func FrequencySweep(ds features.Dataset, cuts []float64) []SweepPoint {
+	out := make([]SweepPoint, 0, len(cuts))
+	for _, cut := range cuts {
+		var c stats.Confusion
+		for i, v := range ds.Vectors {
+			c.Observe(ds.Labels[i], v.Freq1h >= cut)
+		}
+		out = append(out, SweepPoint{Cut: cut, TPR: c.TPR(), FPR: c.FPR()})
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package detector
+
+import (
+	"sybilwild/internal/features"
+	"sybilwild/internal/graph"
+	"sybilwild/internal/osn"
+	"sybilwild/internal/sim"
+)
+
+// Classifier is anything that can judge a feature vector; both Rule
+// and *Adaptive satisfy it.
+type Classifier interface {
+	Classify(features.Vector) bool
+}
+
+// Monitor is the real-time pipeline: it observes a live event stream,
+// keeps per-account feature state, and re-evaluates an account's
+// classification each time that account sends a friend request. When
+// an account is flagged, OnFlag fires (the production deployment's
+// action was a ban).
+//
+// Monitor deliberately evaluates only on EvFriendRequest: that is the
+// earliest signal available (no recipient response needed), matching
+// the paper's emphasis on detection "without significant delays".
+type Monitor struct {
+	C       Classifier
+	Tracker *features.Tracker
+	// OnFlag is called at most once per account, with the event time.
+	OnFlag func(osn.AccountID, sim.Time)
+	// CheckEvery evaluates an account every n-th request it sends
+	// (1 = every request). Higher values trade latency for CPU.
+	CheckEvery int
+
+	flagged map[osn.AccountID]bool
+	seen    map[osn.AccountID]int
+}
+
+// NewMonitor builds a monitor over the given friendship graph.
+func NewMonitor(c Classifier, g *graph.Graph, onFlag func(osn.AccountID, sim.Time)) *Monitor {
+	return &Monitor{
+		C:          c,
+		Tracker:    features.NewTracker(g),
+		OnFlag:     onFlag,
+		CheckEvery: 1,
+		flagged:    make(map[osn.AccountID]bool),
+		seen:       make(map[osn.AccountID]int),
+	}
+}
+
+// Observe folds one event in and evaluates the sender if due. Wire it
+// to a live network with net.RegisterObserver(m.Observe).
+func (m *Monitor) Observe(ev osn.Event) {
+	m.Tracker.Update(ev)
+	if ev.Type != osn.EvFriendRequest {
+		return
+	}
+	id := ev.Actor
+	if m.flagged[id] {
+		return
+	}
+	m.seen[id]++
+	every := m.CheckEvery
+	if every < 1 {
+		every = 1
+	}
+	if m.seen[id]%every != 0 {
+		return
+	}
+	if m.C.Classify(m.Tracker.VectorOf(id)) {
+		m.flagged[id] = true
+		if m.OnFlag != nil {
+			m.OnFlag(id, ev.At)
+		}
+	}
+}
+
+// Flagged reports whether an account has been flagged.
+func (m *Monitor) Flagged(id osn.AccountID) bool { return m.flagged[id] }
+
+// FlaggedCount returns the number of flagged accounts.
+func (m *Monitor) FlaggedCount() int { return len(m.flagged) }
+
+// FlaggedIDs returns all flagged accounts (order unspecified).
+func (m *Monitor) FlaggedIDs() []osn.AccountID {
+	out := make([]osn.AccountID, 0, len(m.flagged))
+	for id := range m.flagged {
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The small runner is shared across tests: building the campaign is
+// the expensive part and every driver is read-only over it.
+var (
+	runnerOnce sync.Once
+	testRunner *Runner
+)
+
+func smallRunner(t *testing.T) *Runner {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment drivers in -short mode")
+	}
+	runnerOnce.Do(func() { testRunner = NewSmallRunner(5) })
+	return testRunner
+}
+
+func TestIDsDispatch(t *testing.T) {
+	r := smallRunner(t)
+	for _, id := range IDs() {
+		rep, err := r.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if rep.ID != id || rep.Title == "" || rep.Body == "" {
+			t.Fatalf("%s: malformed report %+v", id, rep)
+		}
+		if len(rep.Values) == 0 {
+			t.Fatalf("%s: no values", id)
+		}
+	}
+	if _, err := r.Run("nope"); err == nil {
+		t.Fatal("unknown id did not error")
+	}
+}
+
+func TestFig1PaperShape(t *testing.T) {
+	r := smallRunner(t)
+	rep, _ := r.Run("fig1")
+	v := rep.Values
+	// ≈70% of Sybils average ≥40 invites/hour (paper); generous band.
+	if v["sybil_frac_ge40_per_h"] < 0.5 || v["sybil_frac_ge40_per_h"] > 0.9 {
+		t.Errorf("sybil_frac_ge40 = %.3f, want ≈0.70", v["sybil_frac_ge40_per_h"])
+	}
+	// The 40/h cut has no false positives (paper).
+	if v["cut40_fpr"] > 0.001 {
+		t.Errorf("cut40 FPR = %.4f, want ≈0", v["cut40_fpr"])
+	}
+	if v["cut40_tpr"] < 0.5 {
+		t.Errorf("cut40 TPR = %.3f, want ≈0.70", v["cut40_tpr"])
+	}
+	// Normal users essentially never cross 20 per interval.
+	if v["normal_frac_above20"] > 0.01 {
+		t.Errorf("normals above 20/interval = %.4f", v["normal_frac_above20"])
+	}
+}
+
+func TestFig2PaperShape(t *testing.T) {
+	r := smallRunner(t)
+	rep, _ := r.Run("fig2")
+	v := rep.Values
+	if v["sybil_mean"] < 0.12 || v["sybil_mean"] > 0.42 {
+		t.Errorf("sybil mean accept = %.3f, want ≈0.26", v["sybil_mean"])
+	}
+	if v["normal_mean"] < 0.65 || v["normal_mean"] > 0.9 {
+		t.Errorf("normal mean accept = %.3f, want ≈0.79", v["normal_mean"])
+	}
+}
+
+func TestFig3PaperShape(t *testing.T) {
+	r := smallRunner(t)
+	rep, _ := r.Run("fig3")
+	v := rep.Values
+	if v["sybil_frac_accept_all"] < 0.6 {
+		t.Errorf("sybils accepting all = %.3f, want ≈0.80", v["sybil_frac_accept_all"])
+	}
+	if v["normal_std"] < 0.1 {
+		t.Errorf("normal incoming accept std = %.3f, want spread", v["normal_std"])
+	}
+}
+
+func TestFig4PaperShape(t *testing.T) {
+	r := smallRunner(t)
+	rep, _ := r.Run("fig4")
+	v := rep.Values
+	if v["ratio"] < 5 {
+		t.Errorf("cc ratio normal/sybil = %.1f, want ≫1", v["ratio"])
+	}
+}
+
+func TestTable1PaperShape(t *testing.T) {
+	r := smallRunner(t)
+	rep, _ := r.Run("table1")
+	v := rep.Values
+	// Paper: ≈99% per class for both classifiers. Allow a band at the
+	// smaller simulated scale.
+	for _, k := range []string{"svm_tpr", "svm_tnr", "thr_tpr", "thr_tnr"} {
+		if v[k] < 0.93 {
+			t.Errorf("%s = %.4f, want ≥0.93 (paper ≈0.99)", k, v[k])
+		}
+	}
+	for _, k := range []string{"svm_fpr", "thr_fpr"} {
+		if v[k] > 0.05 {
+			t.Errorf("%s = %.4f, want small", k, v[k])
+		}
+	}
+}
+
+func TestFig5PaperShape(t *testing.T) {
+	r := smallRunner(t)
+	rep, _ := r.Run("fig5")
+	v := rep.Values
+	if v["frac_with_sybil_edge"] < 0.10 || v["frac_with_sybil_edge"] > 0.35 {
+		t.Errorf("frac with sybil edge = %.3f, want ≈0.20", v["frac_with_sybil_edge"])
+	}
+}
+
+func TestFig6PaperShape(t *testing.T) {
+	r := smallRunner(t)
+	rep, _ := r.Run("fig6")
+	v := rep.Values
+	if v["frac_small"] < 0.9 {
+		t.Errorf("small-component fraction = %.3f, want ≈0.98", v["frac_small"])
+	}
+	if v["giant_share"] < 0.25 {
+		t.Errorf("giant share = %.3f", v["giant_share"])
+	}
+}
+
+func TestTable2PaperShape(t *testing.T) {
+	r := smallRunner(t)
+	rep, _ := r.Run("table2")
+	v := rep.Values
+	// Ordered by size, attack ≫ sybil edges, audience > 0 everywhere.
+	if v["c0_sybils"] <= v["c1_sybils"] {
+		t.Errorf("components not ordered: %v vs %v", v["c0_sybils"], v["c1_sybils"])
+	}
+	for i := 0; i < 5; i++ {
+		p := func(k string) float64 { return v[k] }
+		idx := string(rune('0' + i))
+		if p("c"+idx+"_attack_edges") <= p("c"+idx+"_sybil_edges") {
+			t.Errorf("component %d: attack ≤ sybil edges", i)
+		}
+		if p("c"+idx+"_audience") <= 0 {
+			t.Errorf("component %d: zero audience", i)
+		}
+	}
+	// The audience-dense narrow fleet (Table 2 row 2 in the paper):
+	// some top component has audience ≪ attack edges.
+	found := false
+	for i := 1; i < 5; i++ {
+		idx := string(rune('0' + i))
+		if v["c"+idx+"_audience"] < v["c"+idx+"_attack_edges"]/4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no audience-dense component among the top 5")
+	}
+}
+
+func TestFig7PaperShape(t *testing.T) {
+	r := smallRunner(t)
+	rep, _ := r.Run("fig7")
+	if rep.Values["frac_above_diagonal"] < 0.999 {
+		t.Errorf("components above y=x = %.4f, want 100%%", rep.Values["frac_above_diagonal"])
+	}
+}
+
+func TestFig8PaperShape(t *testing.T) {
+	r := smallRunner(t)
+	rep, _ := r.Run("fig8")
+	v := rep.Values
+	if v["position_mean"] < 0.35 || v["position_mean"] > 0.65 {
+		t.Errorf("position mean = %.3f, want ≈0.5 (uniform)", v["position_mean"])
+	}
+	if v["ks_uniform"] > 0.25 {
+		t.Errorf("KS distance = %.3f, want small", v["ks_uniform"])
+	}
+}
+
+func TestFig9PaperShape(t *testing.T) {
+	r := smallRunner(t)
+	rep, _ := r.Run("fig9")
+	v := rep.Values
+	if v["frac_deg1"] < 0.2 || v["frac_deg1"] > 0.6 {
+		t.Errorf("giant degree-1 fraction = %.3f, want ≈0.345", v["frac_deg1"])
+	}
+	if v["frac_le10"] < 0.8 {
+		t.Errorf("giant ≤10 fraction = %.3f, want ≈0.937", v["frac_le10"])
+	}
+}
+
+func TestExt1DefensesCollapseInTheWild(t *testing.T) {
+	r := smallRunner(t)
+	rep, _ := r.Run("ext1")
+	for _, name := range []string{"SybilGuard", "SybilLimit", "SybilInfer", "SumUp", "CommunityRank"} {
+		tight := rep.Values["tight_gap_"+name]
+		wild := rep.Values["wild_gap_"+name]
+		if tight < 0.3 {
+			t.Errorf("%s: tight-community gap %.2f, want working defense", name, tight)
+		}
+		if wild > 0.25 {
+			t.Errorf("%s: wild gap %.2f, want collapsed", name, wild)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Report{ID: "x", Title: "t", Body: "b\n"}
+	if !strings.Contains(rep.String(), "x: t") {
+		t.Fatalf("render: %q", rep.String())
+	}
+}
+
+func TestExt2HoneypotPopularityMatters(t *testing.T) {
+	r := smallRunner(t)
+	rep, err := r.Run("ext2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := rep.Values["sybil_reqs_popular"]
+	unpop := rep.Values["sybil_reqs_unpopular"]
+	if pop < 3*unpop+3 {
+		t.Errorf("popular honeypots trapped %v sybil requests vs unpopular %v; want popular ≫ unpopular", pop, unpop)
+	}
+}
+
+func TestExt3FeatureAblation(t *testing.T) {
+	r := smallRunner(t)
+	rep, err := r.Run("ext3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := rep.Values
+	// The frequency features are near-perfect alone (Figure 1's clear
+	// separation); every feature must beat a coin flip by a wide margin.
+	if v["acc_freq1h"] < 0.95 {
+		t.Errorf("freq1h standalone accuracy = %.3f", v["acc_freq1h"])
+	}
+	for _, f := range []string{"freq400h", "outAccept", "cc"} {
+		if v["acc_"+f] < 0.75 {
+			t.Errorf("%s standalone accuracy = %.3f, want ≥0.75", f, v["acc_"+f])
+		}
+	}
+	if v["acc_full"] < v["acc_outAccept"]-0.01 {
+		t.Errorf("full rule (%.3f) below single feature (%.3f)", v["acc_full"], v["acc_outAccept"])
+	}
+}
+
+func TestRunnerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism check in -short mode")
+	}
+	// Two independent small runners with the same seed must produce
+	// byte-identical reports for a behavioural and a topological
+	// experiment.
+	for _, id := range []string{"fig2", "fig6"} {
+		a, err := NewSmallRunner(17).Run(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewSmallRunner(17).Run(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Body != b.Body {
+			t.Fatalf("%s: same seed produced different reports", id)
+		}
+		for k, v := range a.Values {
+			if b.Values[k] != v {
+				t.Fatalf("%s: value %s differs: %v vs %v", id, k, v, b.Values[k])
+			}
+		}
+	}
+}

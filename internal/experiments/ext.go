@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sybilwild/internal/graph"
+	"sybilwild/internal/stats"
+	"sybilwild/internal/sybildefense"
+)
+
+// Table3 — Popular Sybil creation and management tools. The original
+// table is a survey; here it reports the three implemented tool
+// strategies and their configured behaviour (the behaviour the paper
+// infers from the tools' advertised functionality).
+func Table3() Report {
+	rows := [][]string{
+		{"Renren Marketing Assistant V1.0", "Windows", "$37", "snowball, bias 0.70, batch 120"},
+		{"Renren Super Node Collector V1.0", "Windows", "Contact Author", "snowball, bias 0.95, batch 60"},
+		{"Renren Almighty Assistant V5.8", "Windows", "Contact Author", "snowball, bias 0.50, batch 200 (+messaging)"},
+	}
+	body := stats.Table([]string{"Tool Name", "Platform", "Cost", "Implemented strategy"}, rows)
+	return Report{
+		ID:     "table3",
+		Title:  "Popular Sybil creation and management tools",
+		Body:   body,
+		Values: map[string]float64{"tools": 3},
+	}
+}
+
+// Ext1Config sizes the community-defense comparison.
+type Ext1Config struct {
+	Seed    int64
+	Normals int
+	Sybils  int
+}
+
+// DefaultExt1 returns the default comparison size.
+func DefaultExt1(seed int64) Ext1Config {
+	return Ext1Config{Seed: seed, Normals: 3000, Sybils: 300}
+}
+
+// Ext1 — the paper's §3 implication made explicit: run the four
+// community-based defenses (plus the conductance-ranking view) against
+// (a) an injected tight-knit Sybil community — the scenario the
+// defenses were validated on — and (b) Sybils integrated the way the
+// paper measured them in the wild (attack edges ≫ Sybil edges). A
+// large accept-gap means the defense works; the paper's claim is the
+// gap collapses in case (b).
+func Ext1(cfg Ext1Config) Report {
+	r := stats.NewRand(cfg.Seed)
+
+	mask := func(g *graph.Graph, sybils []graph.NodeID) []bool {
+		m := make([]bool, g.NumNodes())
+		for _, s := range sybils {
+			m[s] = true
+		}
+		return m
+	}
+
+	// Scenario A: textbook tight community. The attack cut is kept
+	// small relative to the community (the defenses' own favourable
+	// validation setting — the contrast with scenario B is the point).
+	ga := sybildefense.HonestBackground(r.Fork(), cfg.Normals, 5)
+	tight := sybildefense.InjectTightCommunity(ga, r.Fork(), cfg.Sybils, 6, cfg.Sybils/25+3, 1)
+	maskA := mask(ga, tight)
+
+	// Scenario B: integrated Sybils (the measured topology — each Sybil
+	// has many accepted attack edges, essentially no Sybil edges).
+	gb := sybildefense.HonestBackground(r.Fork(), cfg.Normals, 5)
+	integrated := sybildefense.IntegratedSybils(gb, r.Fork(), cfg.Sybils, 20)
+	maskB := mask(gb, integrated)
+
+	ecfg := sybildefense.DefaultEvalConfig()
+	ecfg.Seed = cfg.Seed
+	resA := sybildefense.EvaluateAll(ga, maskA, ecfg)
+	resB := sybildefense.EvaluateAll(gb, maskB, ecfg)
+
+	var sb strings.Builder
+	rows := make([][]string, 0, len(resA))
+	vals := map[string]float64{}
+	for i := range resA {
+		rows = append(rows, []string{
+			resA[i].Name,
+			pct(resA[i].HonestAccept), pct(resA[i].SybilAccept), fmt.Sprintf("%.2f", resA[i].Gap()),
+			pct(resB[i].HonestAccept), pct(resB[i].SybilAccept), fmt.Sprintf("%.2f", resB[i].Gap()),
+		})
+		vals["tight_gap_"+resA[i].Name] = resA[i].Gap()
+		vals["wild_gap_"+resB[i].Name] = resB[i].Gap()
+	}
+	sb.WriteString(stats.Table([]string{
+		"Defense", "tight:honest", "tight:sybil", "tight:gap",
+		"wild:honest", "wild:sybil", "wild:gap",
+	}, rows))
+	sb.WriteString("A collapsed wild gap reproduces the paper's conclusion: community-based\n" +
+		"defenses cannot separate Sybils that integrate into the social graph.\n")
+	return Report{
+		ID:     "ext1",
+		Title:  "Community-based defenses: injected vs in-the-wild Sybil topology",
+		Body:   sb.String(),
+		Values: vals,
+	}
+}

@@ -1,0 +1,39 @@
+package features
+
+import (
+	"testing"
+
+	"sybilwild/internal/graph"
+	"sybilwild/internal/osn"
+)
+
+func BenchmarkTrackerUpdate(b *testing.B) {
+	g := graph.New(1000)
+	g.AddNodes(1000)
+	tr := NewTracker(g)
+	ev := osn.Event{Type: osn.EvFriendRequest, At: 1, Actor: 5, Target: 9}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev.Actor = osn.AccountID(i % 1000)
+		ev.At = int64(i)
+		tr.Update(ev)
+	}
+}
+
+func BenchmarkVectorOf(b *testing.B) {
+	g := graph.New(200)
+	g.AddNodes(200)
+	for i := 1; i < 60; i++ {
+		g.AddEdge(0, graph.NodeID(i), int64(i))
+	}
+	tr := NewTracker(g)
+	for i := 0; i < 50; i++ {
+		tr.Update(osn.Event{Type: osn.EvFriendRequest, At: int64(i * 30), Actor: 0, Target: osn.AccountID(i + 1)})
+		tr.Update(osn.Event{Type: osn.EvFriendAccept, At: int64(i*30 + 5), Actor: osn.AccountID(i + 1), Target: 0})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.VectorOf(0)
+	}
+}

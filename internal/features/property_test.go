@@ -1,0 +1,98 @@
+package features
+
+import (
+	"testing"
+
+	"sybilwild/internal/osn"
+	"sybilwild/internal/sim"
+	"sybilwild/internal/stats"
+)
+
+// TestStreamingEqualsBatchUnderRandomTraffic is the invariant the
+// real-time deployment rests on: the streaming tracker must compute
+// exactly the same vectors as batch extraction over the finished log,
+// for arbitrary operation interleavings.
+func TestStreamingEqualsBatchUnderRandomTraffic(t *testing.T) {
+	r := stats.NewRand(97)
+	for trial := 0; trial < 15; trial++ {
+		net := osn.NewNetwork()
+		n := 10 + r.Intn(30)
+		ids := make([]osn.AccountID, n)
+		for i := range ids {
+			k := osn.Normal
+			if r.Bernoulli(0.3) {
+				k = osn.Sybil
+			}
+			ids[i] = net.CreateAccount(osn.Female, k, 0)
+		}
+		live := NewTracker(net.Graph())
+		net.RegisterObserver(live.Update)
+
+		var at sim.Time = 1
+		for op := 0; op < 600; op++ {
+			at += sim.Time(r.Intn(3))
+			a := ids[r.Intn(n)]
+			b := ids[r.Intn(n)]
+			switch r.Intn(8) {
+			case 0:
+				net.Ban(a, at)
+			case 1, 2:
+				if pend := net.PendingFor(a); len(pend) > 0 {
+					p := pend[r.Intn(len(pend))]
+					net.RespondFriendRequest(a, p.From, r.Bernoulli(0.6), at)
+				}
+			default:
+				net.SendFriendRequest(a, b, at)
+			}
+		}
+
+		batch := Extract(net, ids)
+		for i, id := range ids {
+			if got := live.VectorOf(id); got != batch[i] {
+				t.Fatalf("trial %d account %d: streaming %+v != batch %+v",
+					trial, id, got, batch[i])
+			}
+		}
+	}
+}
+
+// TestVectorInvariants: ratios are in [0,1] and counts are consistent
+// under any traffic.
+func TestVectorInvariants(t *testing.T) {
+	r := stats.NewRand(101)
+	net := osn.NewNetwork()
+	n := 40
+	ids := make([]osn.AccountID, n)
+	for i := range ids {
+		ids[i] = net.CreateAccount(osn.Male, osn.Normal, 0)
+	}
+	var at sim.Time = 1
+	for op := 0; op < 2000; op++ {
+		at++
+		a := ids[r.Intn(n)]
+		b := ids[r.Intn(n)]
+		if r.Bernoulli(0.7) {
+			net.SendFriendRequest(a, b, at)
+		} else if pend := net.PendingFor(a); len(pend) > 0 {
+			net.RespondFriendRequest(a, pend[0].From, r.Bernoulli(0.5), at)
+		}
+	}
+	for _, v := range Extract(net, ids) {
+		if v.OutAccept < 0 || v.OutAccept > 1 || v.InAccept < 0 || v.InAccept > 1 {
+			t.Fatalf("ratio out of range: %+v", v)
+		}
+		if v.OutAccepted > v.OutSent || v.InAccepted > v.InReceived {
+			t.Fatalf("accepted exceeds sent/received: %+v", v)
+		}
+		if v.CC < 0 || v.CC > 1 {
+			t.Fatalf("cc out of range: %+v", v)
+		}
+		if v.OutSent > 0 && v.Freq1h <= 0 {
+			t.Fatalf("active account with zero frequency: %+v", v)
+		}
+		if v.Freq1h < v.Freq400h/400-1e-9 {
+			// 400h windows aggregate ≥ as much as 1h windows per window.
+			t.Fatalf("window relationship violated: %+v", v)
+		}
+	}
+}

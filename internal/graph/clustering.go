@@ -1,0 +1,60 @@
+package graph
+
+// LocalClustering returns the clustering coefficient of u over its full
+// neighbourhood: the fraction of pairs of u's neighbours that are
+// themselves connected. Nodes with degree < 2 have coefficient 0.
+func (g *Graph) LocalClustering(u NodeID) float64 {
+	return g.clusteringOver(g.Neighbors(u))
+}
+
+// ClusteringFirstK returns the clustering coefficient computed over
+// only the first k friends of u in edge-creation order, the metric the
+// paper uses (Figure 4, k = 50) so the detector can act before an
+// account finishes building its friend list.
+func (g *Graph) ClusteringFirstK(u NodeID, k int) float64 {
+	nbrs := g.Neighbors(u)
+	if len(nbrs) > k {
+		nbrs = nbrs[:k]
+	}
+	return g.clusteringOver(nbrs)
+}
+
+func (g *Graph) clusteringOver(nbrs []Edge) float64 {
+	n := len(nbrs)
+	if n < 2 {
+		return 0
+	}
+	// Membership set over the (at most k) selected neighbours, then a
+	// single scan of each neighbour's adjacency list. O(sum deg(nbr)).
+	member := make(map[NodeID]struct{}, n)
+	for _, e := range nbrs {
+		member[e.To] = struct{}{}
+	}
+	links := 0
+	for _, e := range nbrs {
+		for _, f := range g.adj[e.To] {
+			if _, ok := member[f.To]; ok {
+				links++ // counted twice, once per endpoint
+			}
+		}
+	}
+	pairs := n * (n - 1) / 2
+	return float64(links/2) / float64(pairs)
+}
+
+// AverageClustering returns the mean LocalClustering over all nodes
+// with degree ≥ 2, or 0 if no such node exists.
+func (g *Graph) AverageClustering() float64 {
+	var sum float64
+	n := 0
+	for u := range g.adj {
+		if len(g.adj[u]) >= 2 {
+			sum += g.LocalClustering(NodeID(u))
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

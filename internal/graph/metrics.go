@@ -1,0 +1,90 @@
+package graph
+
+// CutStats describes the edges incident to a node set S: Internal
+// counts edges with both endpoints in S, Cut counts edges with exactly
+// one endpoint in S. For a Sybil component, Internal is the paper's
+// "Sybil edges" and Cut is its "attack edges".
+type CutStats struct {
+	Internal int
+	Cut      int
+}
+
+// CutOf computes CutStats for the set marked true in member. member
+// must have length NumNodes.
+func (g *Graph) CutOf(member []bool) CutStats {
+	if len(member) != g.NumNodes() {
+		panic("graph: member mask length mismatch")
+	}
+	var cs CutStats
+	for u := range g.adj {
+		if !member[u] {
+			continue
+		}
+		for _, e := range g.adj[u] {
+			if member[e.To] {
+				if NodeID(u) < e.To {
+					cs.Internal++
+				}
+			} else {
+				cs.Cut++
+			}
+		}
+	}
+	return cs
+}
+
+// Conductance returns cut(S) / min(vol(S), vol(V\S)), the standard
+// community-quality measure. Community-based Sybil detectors assume
+// the Sybil region has low conductance; the paper shows it does not.
+// Returns 1 for degenerate sets (empty, full, or zero volume).
+func (g *Graph) Conductance(member []bool) float64 {
+	if len(member) != g.NumNodes() {
+		panic("graph: member mask length mismatch")
+	}
+	cut := 0
+	volS := 0
+	volAll := 0
+	for u := range g.adj {
+		d := len(g.adj[u])
+		volAll += d
+		if !member[u] {
+			continue
+		}
+		volS += d
+		for _, e := range g.adj[u] {
+			if !member[e.To] {
+				cut++
+			}
+		}
+	}
+	volT := volAll - volS
+	minVol := volS
+	if volT < minVol {
+		minVol = volT
+	}
+	if minVol == 0 {
+		return 1
+	}
+	return float64(cut) / float64(minVol)
+}
+
+// Audience returns the number of distinct non-member nodes adjacent to
+// the member set — the paper's Table 2 "audience" column (normal users
+// exposed to the Sybil component).
+func (g *Graph) Audience(member []bool) int {
+	if len(member) != g.NumNodes() {
+		panic("graph: member mask length mismatch")
+	}
+	seen := make(map[NodeID]struct{})
+	for u := range g.adj {
+		if !member[u] {
+			continue
+		}
+		for _, e := range g.adj[u] {
+			if !member[e.To] {
+				seen[e.To] = struct{}{}
+			}
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,118 @@
+package osn
+
+import "testing"
+
+// chainNet builds a path of friends: 0-1-2-3-4.
+func chainNet(t *testing.T, n int) *Network {
+	t.Helper()
+	net := NewNetwork()
+	for i := 0; i < n; i++ {
+		net.CreateAccount(Female, Normal, 0)
+	}
+	for i := 0; i < n-1; i++ {
+		net.SendFriendRequest(AccountID(i), AccountID(i+1), 1)
+		net.RespondFriendRequest(AccountID(i+1), AccountID(i), true, 2)
+	}
+	return net
+}
+
+func TestPostBlogVisibility(t *testing.T) {
+	net := chainNet(t, 4)
+	id, err := net.PostBlog(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.CanSee(0, id) {
+		t.Fatal("author cannot see own blog")
+	}
+	if !net.CanSee(1, id) {
+		t.Fatal("friend cannot see blog")
+	}
+	if net.CanSee(2, id) {
+		t.Fatal("2-hop user sees unshared blog")
+	}
+	if net.BlogSharers(id) != 1 {
+		t.Fatalf("sharers = %d", net.BlogSharers(id))
+	}
+	if net.BlogAudience(id) != 1 {
+		t.Fatalf("audience = %d, want 1 (only node 1)", net.BlogAudience(id))
+	}
+}
+
+func TestShareCascadeExtendsReach(t *testing.T) {
+	net := chainNet(t, 5)
+	id, _ := net.PostBlog(0, 10)
+	// 2 cannot share yet (not visible).
+	if err := net.ShareBlog(2, id, 11); err != ErrNotVisible {
+		t.Fatalf("2-hop share err = %v", err)
+	}
+	if err := net.ShareBlog(1, id, 12); err != nil {
+		t.Fatal(err)
+	}
+	// Now 2 can see and share; the cascade hops outward.
+	if !net.CanSee(2, id) {
+		t.Fatal("cascade did not extend visibility")
+	}
+	if err := net.ShareBlog(2, id, 13); err != nil {
+		t.Fatal(err)
+	}
+	if net.BlogSharers(id) != 3 {
+		t.Fatalf("sharers = %d", net.BlogSharers(id))
+	}
+	// Audience: nodes 3 (friend of sharer 2); 0,1,2 are sharers.
+	if net.BlogAudience(id) != 1 {
+		t.Fatalf("audience = %d", net.BlogAudience(id))
+	}
+}
+
+func TestShareValidation(t *testing.T) {
+	net := chainNet(t, 3)
+	id, _ := net.PostBlog(0, 1)
+	if err := net.ShareBlog(1, id, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.ShareBlog(1, id, 3); err != ErrReshared {
+		t.Fatalf("duplicate share err = %v", err)
+	}
+	if err := net.ShareBlog(1, BlogID(99), 3); err != ErrNoBlog {
+		t.Fatalf("missing blog err = %v", err)
+	}
+	net.Ban(2, 4)
+	if err := net.ShareBlog(2, id, 5); err != ErrBanned {
+		t.Fatalf("banned share err = %v", err)
+	}
+	if _, err := net.PostBlog(2, 6); err != ErrBanned {
+		t.Fatalf("banned post err = %v", err)
+	}
+}
+
+func TestFeedEventsLogged(t *testing.T) {
+	net := chainNet(t, 3)
+	id, _ := net.PostBlog(0, 5)
+	net.ShareBlog(1, id, 6)
+	var post, share int
+	for _, ev := range net.Events() {
+		switch ev.Type {
+		case EvBlogPost:
+			post++
+			if ev.Aux != int32(id) || ev.Actor != 0 {
+				t.Fatalf("post event wrong: %+v", ev)
+			}
+		case EvBlogShare:
+			share++
+			if ev.Aux != int32(id) || ev.Actor != 1 || ev.Target != 0 {
+				t.Fatalf("share event wrong: %+v", ev)
+			}
+		}
+	}
+	if post != 1 || share != 1 {
+		t.Fatalf("feed events = %d posts %d shares", post, share)
+	}
+}
+
+func TestBlogQueriesOutOfRange(t *testing.T) {
+	net := chainNet(t, 2)
+	if net.BlogSharers(5) != 0 || net.BlogAudience(5) != 0 || net.CanSee(0, 5) {
+		t.Fatal("out-of-range blog queries not zero")
+	}
+}

@@ -1,0 +1,108 @@
+package osn
+
+import (
+	"testing"
+
+	"sybilwild/internal/stats"
+)
+
+// TestRandomOperationInvariants drives the network with random
+// operation sequences and checks the structural invariants that every
+// downstream analysis depends on.
+func TestRandomOperationInvariants(t *testing.T) {
+	r := stats.NewRand(71)
+	for trial := 0; trial < 10; trial++ {
+		net := NewNetwork()
+		n := 20 + r.Intn(30)
+		for i := 0; i < n; i++ {
+			k := Normal
+			if r.Bernoulli(0.3) {
+				k = Sybil
+			}
+			net.CreateAccount(Female, k, 0)
+		}
+		var at int64 = 1
+		for op := 0; op < 800; op++ {
+			at++
+			a := AccountID(r.Intn(n))
+			b := AccountID(r.Intn(n))
+			switch r.Intn(10) {
+			case 0:
+				net.Ban(a, at)
+			case 1, 2, 3:
+				if pend := net.PendingFor(a); len(pend) > 0 {
+					p := pend[r.Intn(len(pend))]
+					net.RespondFriendRequest(a, p.From, r.Bernoulli(0.5), at)
+				}
+			default:
+				net.SendFriendRequest(a, b, at)
+			}
+		}
+
+		g := net.Graph()
+		// Invariant 1: no pending request duplicates an existing edge.
+		for id := 0; id < n; id++ {
+			for _, p := range net.PendingFor(AccountID(id)) {
+				if g.HasEdge(AccountID(id), p.From) {
+					t.Fatal("pending request alongside existing friendship")
+				}
+				if p.From == AccountID(id) {
+					t.Fatal("self-request in pending queue")
+				}
+			}
+		}
+		// Invariant 2: accepted-edge count equals accept events.
+		accepts := 0
+		for _, ev := range net.Events() {
+			if ev.Type == EvFriendAccept {
+				accepts++
+			}
+		}
+		if accepts != g.NumEdges() {
+			t.Fatalf("accept events %d != edges %d", accepts, g.NumEdges())
+		}
+		// Invariant 3: event log times are non-decreasing (ops were).
+		var last int64 = -1
+		for _, ev := range net.Events() {
+			if ev.At < last {
+				t.Fatalf("event log time regressed: %d after %d", ev.At, last)
+			}
+			last = ev.At
+		}
+		// Invariant 4: banned accounts sent nothing after their ban.
+		bannedAt := map[AccountID]int64{}
+		for _, ev := range net.Events() {
+			if ev.Type == EvBan {
+				bannedAt[ev.Target] = ev.At
+			}
+		}
+		for _, ev := range net.Events() {
+			if ev.Type != EvFriendRequest {
+				continue
+			}
+			if when, ok := bannedAt[ev.Actor]; ok && ev.At > when {
+				t.Fatalf("banned account %d sent a request at %d (banned %d)",
+					ev.Actor, ev.At, when)
+			}
+		}
+	}
+}
+
+// TestPendingNeverDuplicates verifies the duplicate-request guard under
+// repeated attempts.
+func TestPendingNeverDuplicates(t *testing.T) {
+	net := NewNetwork()
+	a := net.CreateAccount(Female, Sybil, 0)
+	b := net.CreateAccount(Male, Normal, 0)
+	if err := net.SendFriendRequest(a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := net.SendFriendRequest(a, b, int64(2+i)); err != ErrDuplicate {
+			t.Fatalf("attempt %d err = %v", i, err)
+		}
+	}
+	if len(net.PendingFor(b)) != 1 {
+		t.Fatalf("pending = %d", len(net.PendingFor(b)))
+	}
+}

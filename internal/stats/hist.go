@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over [Lo, Hi). Values outside the
+// range are clamped into the first/last bin so no observation is lost.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with nbins equal-width bins over
+// [lo, hi). It panics on nbins ≤ 0 or hi ≤ lo.
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram range is empty")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Fraction returns the fraction of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// String renders the histogram as a simple bar chart.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * 40 / maxCount
+		}
+		fmt.Fprintf(&b, "%10.4g |%s %d\n", h.BinCenter(i), strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// LogBins returns n bin edges logarithmically spaced between lo and hi
+// (both must be positive). The returned slice has n+1 edges. It is used
+// for the paper's log-x-axis degree and cc distributions.
+func LogBins(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi <= lo || n <= 0 {
+		panic("stats: invalid log bin parameters")
+	}
+	edges := make([]float64, n+1)
+	llo, lhi := math.Log10(lo), math.Log10(hi)
+	for i := 0; i <= n; i++ {
+		edges[i] = math.Pow(10, llo+(lhi-llo)*float64(i)/float64(n))
+	}
+	return edges
+}
+
+// DegreeDistribution counts occurrences of each integer degree and
+// returns (degrees ascending, count per degree). Useful for the
+// paper's Figures 5 and 9.
+func DegreeDistribution(degrees []int) (ds []int, counts []int) {
+	m := map[int]int{}
+	for _, d := range degrees {
+		m[d]++
+	}
+	for d := range m {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	counts = make([]int, len(ds))
+	for i, d := range ds {
+		counts[i] = m[d]
+	}
+	return ds, counts
+}

@@ -1,0 +1,56 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"sybilwild/internal/osn"
+)
+
+// BenchmarkBroadcastDrain measures end-to-end event throughput with
+// one active subscriber draining the feed.
+func BenchmarkBroadcastDrain(b *testing.B) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.NumClients() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	ev := osn.Event{Type: osn.EvFriendRequest, At: 1, Actor: 2, Target: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Broadcast(ev)
+	}
+	b.StopTimer()
+	s.Close()
+	<-done
+}
+
+func BenchmarkWireMarshal(b *testing.B) {
+	ev := osn.Event{Type: osn.EvFriendAccept, At: 12345, Actor: 77, Target: 99}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := FromOSN(ev)
+		if _, err := w.ToOSN(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package stream carries OSN events over TCP as newline-delimited
+// JSON, mirroring how the paper's detector consumed Renren's
+// operational log feed in production. A Server fans events out to any
+// number of subscribers with per-client buffering (slow consumers drop
+// oldest events rather than stalling the simulation); a Client
+// receives events and hands them to a callback, reconnecting with
+// backoff if the feed drops.
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sybilwild/internal/osn"
+	"sybilwild/internal/sim"
+)
+
+// WireEvent is the JSON wire form of an osn.Event.
+type WireEvent struct {
+	Type   string `json:"type"`
+	At     int64  `json:"at"`
+	Actor  int32  `json:"actor"`
+	Target int32  `json:"target"`
+	Aux    int32  `json:"aux,omitempty"`
+}
+
+// FromOSN converts an event to wire form.
+func FromOSN(ev osn.Event) WireEvent {
+	return WireEvent{
+		Type:   ev.Type.String(),
+		At:     ev.At,
+		Actor:  int32(ev.Actor),
+		Target: int32(ev.Target),
+		Aux:    ev.Aux,
+	}
+}
+
+// ToOSN converts back from wire form.
+func (w WireEvent) ToOSN() (osn.Event, error) {
+	var typ osn.EventType
+	switch w.Type {
+	case "friend_request":
+		typ = osn.EvFriendRequest
+	case "friend_accept":
+		typ = osn.EvFriendAccept
+	case "friend_reject":
+		typ = osn.EvFriendReject
+	case "message":
+		typ = osn.EvMessage
+	case "ban":
+		typ = osn.EvBan
+	case "blog_post":
+		typ = osn.EvBlogPost
+	case "blog_share":
+		typ = osn.EvBlogShare
+	default:
+		return osn.Event{}, fmt.Errorf("stream: unknown event type %q", w.Type)
+	}
+	return osn.Event{
+		Type:   typ,
+		At:     sim.Time(w.At),
+		Actor:  osn.AccountID(w.Actor),
+		Target: osn.AccountID(w.Target),
+		Aux:    w.Aux,
+	}, nil
+}
+
+// ClientBuffer is the per-subscriber event buffer size; when a
+// subscriber falls this far behind, its oldest events are dropped.
+const ClientBuffer = 4096
+
+// Server broadcasts events to TCP subscribers.
+type Server struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	clients map[net.Conn]chan []byte
+	dropped uint64
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewServer listens on addr (e.g. "127.0.0.1:0") and starts accepting
+// subscribers.
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream: listen: %w", err)
+	}
+	s := &Server{ln: ln, clients: make(map[net.Conn]chan []byte)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		ch := make(chan []byte, ClientBuffer)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.clients[conn] = ch
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.writeLoop(conn, ch)
+	}
+}
+
+func (s *Server) writeLoop(conn net.Conn, ch chan []byte) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.clients, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	w := bufio.NewWriter(conn)
+	for line := range ch {
+		if line == nil {
+			return // close sentinel
+		}
+		if _, err := w.Write(line); err != nil {
+			return
+		}
+		// Flush when the buffer has drained so bursts batch but the
+		// tail is never delayed.
+		if len(ch) == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Broadcast sends an event to all connected subscribers. It never
+// blocks: a subscriber whose buffer is full loses its oldest queued
+// event (counted in Dropped).
+func (s *Server) Broadcast(ev osn.Event) {
+	line, err := json.Marshal(FromOSN(ev))
+	if err != nil {
+		return // unreachable for this type; keep Broadcast infallible
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ch := range s.clients {
+		for {
+			select {
+			case ch <- line:
+			default:
+				// Full: drop the oldest and retry.
+				select {
+				case <-ch:
+					s.dropped++
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+}
+
+// Dropped returns the number of events dropped across all subscribers.
+func (s *Server) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// NumClients returns the current subscriber count.
+func (s *Server) NumClients() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.clients)
+}
+
+// Close stops accepting, disconnects all subscribers and waits for
+// writer goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for conn, ch := range s.clients {
+		close(ch)
+		conn.Close()
+		delete(s.clients, conn)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// ErrClosed is returned by Client.Recv after Close.
+var ErrClosed = errors.New("stream: client closed")
+
+// Client subscribes to a Server's event feed.
+type Client struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+}
+
+// Dial connects to a stream server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("stream: dial: %w", err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &Client{conn: conn, sc: sc}, nil
+}
+
+// Recv blocks for the next event. It returns an error when the
+// connection ends or a frame fails to parse.
+func (c *Client) Recv() (osn.Event, error) {
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return osn.Event{}, fmt.Errorf("stream: read: %w", err)
+		}
+		return osn.Event{}, ErrClosed
+	}
+	var w WireEvent
+	if err := json.Unmarshal(c.sc.Bytes(), &w); err != nil {
+		return osn.Event{}, fmt.Errorf("stream: bad frame: %w", err)
+	}
+	return w.ToOSN()
+}
+
+// Close disconnects the client.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Subscribe dials addr and delivers events to fn until the connection
+// ends, reconnecting with exponential backoff up to maxRetries
+// consecutive failures. It returns the first permanent error.
+func Subscribe(addr string, fn func(osn.Event), maxRetries int) error {
+	backoff := 50 * time.Millisecond
+	retries := 0
+	for {
+		c, err := Dial(addr)
+		if err != nil {
+			retries++
+			if retries > maxRetries {
+				return err
+			}
+			time.Sleep(backoff)
+			if backoff < 2*time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		retries = 0
+		backoff = 50 * time.Millisecond
+		for {
+			ev, err := c.Recv()
+			if err != nil {
+				c.Close()
+				if errors.Is(err, ErrClosed) {
+					return nil // clean end of feed
+				}
+				break // reconnect
+			}
+			fn(ev)
+		}
+	}
+}

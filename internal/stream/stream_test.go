@@ -1,0 +1,260 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sybilwild/internal/osn"
+)
+
+func testEvent(i int) osn.Event {
+	return osn.Event{Type: osn.EvFriendRequest, At: int64(i), Actor: 1, Target: osn.AccountID(i)}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	evs := []osn.Event{
+		{Type: osn.EvFriendRequest, At: 10, Actor: 1, Target: 2},
+		{Type: osn.EvFriendAccept, At: 11, Actor: 2, Target: 1},
+		{Type: osn.EvFriendReject, At: 12, Actor: 3, Target: 1},
+		{Type: osn.EvMessage, At: 13, Actor: 1, Target: 4},
+		{Type: osn.EvBan, At: 14, Target: 1},
+	}
+	for _, ev := range evs {
+		got, err := FromOSN(ev).ToOSN()
+		if err != nil {
+			t.Fatalf("%v: %v", ev, err)
+		}
+		if got != ev {
+			t.Fatalf("round trip: %+v != %+v", got, ev)
+		}
+	}
+}
+
+func TestWireUnknownType(t *testing.T) {
+	if _, err := (WireEvent{Type: "bogus"}).ToOSN(); err == nil {
+		t.Fatal("expected error for unknown type")
+	}
+}
+
+func TestServerClientDelivery(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitClients(t, s, 1)
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		s.Broadcast(testEvent(i))
+	}
+	for i := 0; i < n; i++ {
+		ev, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if ev.At != int64(i) || ev.Target != osn.AccountID(i) {
+			t.Fatalf("event %d out of order: %+v", i, ev)
+		}
+	}
+	if s.Dropped() != 0 {
+		t.Fatalf("dropped = %d", s.Dropped())
+	}
+}
+
+func TestMultipleSubscribers(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var clients []*Client
+	for i := 0; i < 3; i++ {
+		c, err := Dial(s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients = append(clients, c)
+	}
+	waitClients(t, s, 3)
+	s.Broadcast(testEvent(7))
+	for i, c := range clients {
+		ev, err := c.Recv()
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		if ev.At != 7 {
+			t.Fatalf("client %d got %+v", i, ev)
+		}
+	}
+}
+
+func TestRecvAfterServerClose(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitClients(t, s, 1)
+	s.Close()
+	if _, err := c.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestSlowConsumerDropsOldest(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitClients(t, s, 1)
+	// Without reading, flood far beyond the buffer. TCP + bufio absorb
+	// some, but the per-client channel must shed the rest.
+	total := ClientBuffer * 40
+	for i := 0; i < total; i++ {
+		s.Broadcast(testEvent(i))
+	}
+	if s.Dropped() == 0 {
+		t.Fatal("no events dropped despite unbounded flood")
+	}
+	// The client must still receive a consistent (ascending) stream.
+	last := int64(-1)
+	for i := 0; i < 100; i++ {
+		ev, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if ev.At <= last {
+			t.Fatalf("stream went backwards: %d after %d", ev.At, last)
+		}
+		last = ev.At
+	}
+}
+
+func TestSubscribeDeliversAndEnds(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitClientsN := func(n int) {
+		deadline := time.Now().Add(2 * time.Second)
+		for s.NumClients() < n && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	got := make(chan osn.Event, 16)
+	done := make(chan error, 1)
+	go func() {
+		done <- Subscribe(s.Addr(), func(ev osn.Event) { got <- ev }, 3)
+	}()
+	waitClientsN(1)
+	s.Broadcast(testEvent(1))
+	select {
+	case ev := <-got:
+		if ev.At != 1 {
+			t.Fatalf("got %+v", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout waiting for event")
+	}
+	s.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("subscribe ended with error: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("subscribe did not end after server close")
+	}
+}
+
+func TestSubscribeFailsWhenNoServer(t *testing.T) {
+	err := Subscribe("127.0.0.1:1", func(osn.Event) {}, 1)
+	if err == nil {
+		t.Fatal("expected dial failure")
+	}
+}
+
+func TestDialBadAddress(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("expected dial error")
+	}
+}
+
+func TestServerDoubleClose(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func waitClients(t *testing.T, s *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.NumClients() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("clients never reached %d", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestConcurrentBroadcasters(t *testing.T) {
+	// Broadcast must be safe from multiple goroutines (e.g. several
+	// simulation shards feeding one server).
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitClients(t, s, 1)
+	const writers, per = 8, 200
+	done := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		w := w
+		go func() {
+			for i := 0; i < per; i++ {
+				s.Broadcast(testEvent(w*per + i))
+			}
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		<-done
+	}
+	seen := 0
+	for seen < writers*per {
+		if _, err := c.Recv(); err != nil {
+			t.Fatalf("recv after %d: %v", seen, err)
+		}
+		seen++
+	}
+}

@@ -1,0 +1,47 @@
+package svm
+
+import (
+	"testing"
+
+	"sybilwild/internal/stats"
+)
+
+func BenchmarkTrainRBF(b *testing.B) {
+	r := stats.NewRand(1)
+	x, y := blobs(r, 500, 2) // 1000 samples — the paper's ground-truth size
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(x, y, DefaultConfig())
+	}
+}
+
+func BenchmarkTrainLinear(b *testing.B) {
+	r := stats.NewRand(1)
+	x, y := blobs(r, 500, 2)
+	cfg := DefaultConfig()
+	cfg.Kernel = Linear{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(x, y, cfg)
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	r := stats.NewRand(1)
+	x, y := blobs(r, 500, 2)
+	m := Train(x, y, DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Classify(x[i%len(x)])
+	}
+}
+
+func BenchmarkCrossValidate(b *testing.B) {
+	r := stats.NewRand(1)
+	x, y := blobs(r, 200, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CrossValidate(x, y, 5, DefaultConfig())
+	}
+}

@@ -1,0 +1,130 @@
+package sybildefense
+
+import (
+	"sybilwild/internal/graph"
+)
+
+// SumUp (Tran et al., NSDI 2009) bounds vote manipulation: votes flow
+// from voters to a trusted vote collector over the social graph. Link
+// capacities follow SumUp's ticket distribution: the collector hands
+// out Cmax tickets that halve with each BFS level outward, so links
+// near the collector are wide while links far away carry capacity 1.
+// A Sybil region behind a narrow attack cut can therefore deliver at
+// most ≈cut bogus votes — a bound the paper's measurements break,
+// because real Sybil regions have *plenty* of attack edges.
+type SumUp struct {
+	G *graph.Graph
+}
+
+// NewSumUp wraps a graph.
+func NewSumUp(g *graph.Graph) *SumUp {
+	return &SumUp{G: g}
+}
+
+// CollectVotes returns how many of the voters' votes reach the
+// collector: the max flow from a virtual super-source (one unit per
+// voter) to the collector under ticket-distribution capacities with
+// Cmax = len(voters).
+func (su *SumUp) CollectVotes(collector graph.NodeID, voters []graph.NodeID) int {
+	if len(voters) == 0 {
+		return 0
+	}
+	n := su.G.NumNodes()
+	// BFS levels from the collector for ticket distribution.
+	level := make([]int32, n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[collector] = 0
+	queue := []graph.NodeID{collector}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range su.G.Neighbors(u) {
+			if level[e.To] < 0 {
+				level[e.To] = level[u] + 1
+				queue = append(queue, e.To)
+			}
+		}
+	}
+
+	// Augmented graph: copy + super-source with one unit per voter.
+	aug := graph.New(n + 1)
+	aug.AddNodes(n + 1)
+	for _, e := range su.G.Edges() {
+		aug.AddEdge(e.U, e.V, e.Time)
+	}
+	src := graph.NodeID(n)
+	for _, v := range voters {
+		if v != collector {
+			aug.AddEdge(src, v, 0)
+		}
+	}
+
+	// Ticket distribution: the collector starts with Cmax tickets; each
+	// level's nodes consume one ticket apiece and pass the rest on, and
+	// a level's remaining tickets are divided evenly over the edges
+	// crossing to the next level. Once tickets run out, capacity is 1.
+	cmax := len(voters)
+	maxLevel := int32(0)
+	for _, l := range level {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	crossing := make([]int, maxLevel+1)  // edges from level ℓ to ℓ+1
+	levelSize := make([]int, maxLevel+2) // nodes at level ℓ
+	for u := 0; u < n; u++ {
+		if level[u] < 0 {
+			continue
+		}
+		levelSize[level[u]]++
+		for _, e := range su.G.Neighbors(graph.NodeID(u)) {
+			if level[e.To] == level[u]+1 {
+				crossing[level[u]]++
+			}
+		}
+	}
+	capAt := make([]int, maxLevel+1)
+	tickets := cmax
+	for l := int32(0); l <= maxLevel; l++ {
+		c := 1
+		if tickets > 0 && crossing[l] > 0 {
+			c = (tickets + crossing[l] - 1) / crossing[l]
+			if c < 1 {
+				c = 1
+			}
+		}
+		capAt[l] = c
+		tickets -= levelSize[l+1]
+		if tickets < 0 {
+			tickets = 0
+		}
+	}
+	capOf := func(u, v graph.NodeID) int {
+		if u == src || v == src {
+			return 1 // one vote per voter
+		}
+		lu, lv := level[u], level[v]
+		if lu < 0 || lv < 0 {
+			return 1
+		}
+		if lu == lv {
+			return 1 // intra-level links carry no ticketed capacity
+		}
+		l := lu
+		if lv < l {
+			l = lv
+		}
+		return capAt[l]
+	}
+	return aug.MaxFlowFunc(src, collector, capOf)
+}
+
+// VoteRatio is the fraction of votes delivered: collected / voters.
+func (su *SumUp) VoteRatio(collector graph.NodeID, voters []graph.NodeID) float64 {
+	if len(voters) == 0 {
+		return 0
+	}
+	return float64(su.CollectVotes(collector, voters)) / float64(len(voters))
+}

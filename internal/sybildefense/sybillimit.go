@@ -1,0 +1,75 @@
+package sybildefense
+
+import (
+	"sybilwild/internal/graph"
+)
+
+// SybilLimit (Yu et al., S&P 2008) refines SybilGuard: each node runs
+// s ≈ √m independent random routes of length w = O(mixing time) and
+// publishes only the *tail* (the last directed edge) of each. A
+// verifier accepts a suspect when one of the suspect's tails collides
+// with one of the verifier's tails (the "intersection condition"; the
+// balance condition is omitted — it only tightens acceptance further,
+// and the experiment measures the intersection behaviour the paper's
+// topology argument is about).
+type SybilLimit struct {
+	G        *graph.Graph
+	NumInst  int // s: number of route instances
+	RouteLen int // w: route length
+
+	perms []graph.RoutePermuter
+	tails map[graph.NodeID]map[[2]graph.NodeID]struct{}
+}
+
+// NewSybilLimit creates an instance with s independent permutation
+// universes and route length w.
+func NewSybilLimit(g *graph.Graph, s, w int, seed uint64) *SybilLimit {
+	sl := &SybilLimit{
+		G:        g,
+		NumInst:  s,
+		RouteLen: w,
+		tails:    make(map[graph.NodeID]map[[2]graph.NodeID]struct{}),
+	}
+	for i := 0; i < s; i++ {
+		sl.perms = append(sl.perms, graph.NewSeededPermuter(seed+uint64(i)*0x9e37+1))
+	}
+	return sl
+}
+
+// tailSet returns u's published tails: the undirected-edge endpoints
+// of the final hop of each of its s routes.
+func (sl *SybilLimit) tailSet(u graph.NodeID) map[[2]graph.NodeID]struct{} {
+	if t, ok := sl.tails[u]; ok {
+		return t
+	}
+	t := make(map[[2]graph.NodeID]struct{}, sl.NumInst)
+	for i := 0; i < sl.NumInst; i++ {
+		route := sl.G.RandomRoute(sl.perms[i], u, sl.RouteLen)
+		if len(route) >= 2 {
+			a, b := route[len(route)-2], route[len(route)-1]
+			if a > b {
+				a, b = b, a
+			}
+			t[[2]graph.NodeID{a, b}] = struct{}{}
+		}
+	}
+	sl.tails[u] = t
+	return t
+}
+
+// Accepts reports whether the verifier's tails intersect the
+// suspect's.
+func (sl *SybilLimit) Accepts(verifier, suspect graph.NodeID) bool {
+	vt := sl.tailSet(verifier)
+	st := sl.tailSet(suspect)
+	small, big := vt, st
+	if len(small) > len(big) {
+		small, big = big, small
+	}
+	for e := range small {
+		if _, ok := big[e]; ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,46 @@
+package sybildefense
+
+import (
+	"sybilwild/internal/graph"
+	"sybilwild/internal/stats"
+)
+
+// HonestBackground builds a connected preferential-attachment honest
+// region with n nodes and ≈m edges per arrival — the standard
+// fast-mixing substrate the defense papers evaluate on.
+func HonestBackground(r *stats.Rand, n, m int) *graph.Graph {
+	g := graph.New(n)
+	g.AddNodes(n)
+	var endpoints []graph.NodeID
+	for i := 1; i < n; i++ {
+		for e := 0; e < m; e++ {
+			var v graph.NodeID
+			if len(endpoints) == 0 {
+				v = graph.NodeID(r.Intn(i))
+			} else {
+				v = endpoints[r.Intn(len(endpoints))]
+			}
+			if v != graph.NodeID(i) && g.AddEdge(graph.NodeID(i), v, int64(i)) {
+				endpoints = append(endpoints, graph.NodeID(i), v)
+			}
+		}
+	}
+	return g
+}
+
+// IntegratedSybils appends Sybils shaped like the paper's measured
+// topology: each with attackPer accepted attack edges to random honest
+// nodes and no Sybil edges at all.
+func IntegratedSybils(g *graph.Graph, r *stats.Rand, nSybil, attackPer int) []graph.NodeID {
+	nHonest := g.NumNodes()
+	first := g.AddNodes(nSybil)
+	ids := make([]graph.NodeID, nSybil)
+	for i := range ids {
+		ids[i] = first + graph.NodeID(i)
+		for e := 0; e < attackPer; e++ {
+			h := graph.NodeID(r.Intn(nHonest))
+			g.AddEdge(ids[i], h, 1)
+		}
+	}
+	return ids
+}

@@ -1,0 +1,28 @@
+package sybtopo
+
+import "testing"
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Generate(SmallConfig(int64(i + 1)))
+	}
+}
+
+func BenchmarkComponents(b *testing.B) {
+	topo := Generate(SmallConfig(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topo.Components()
+	}
+}
+
+func BenchmarkFillAudienceGiant(b *testing.B) {
+	topo := Generate(SmallConfig(1))
+	giant := topo.GiantComponent()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := giant
+		topo.FillAudience(&c)
+	}
+}

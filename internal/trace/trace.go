@@ -1,0 +1,115 @@
+// Package trace serializes generated datasets — the account table,
+// friendship edges with creation times, and the operational event log
+// — so experiments can be generated once (cmd/sybilgen) and analyzed
+// repeatedly (cmd/sybildetect, cmd/experiments). The on-disk format is
+// gob; a JSON export exists for interoperability with other tooling.
+package trace
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"sybilwild/internal/graph"
+	"sybilwild/internal/osn"
+)
+
+// Meta records how a dataset was produced.
+type Meta struct {
+	Seed        int64
+	Description string
+	Normals     int
+	Sybils      int
+	DurationH   int64 // observation window, hours
+}
+
+// Dataset is the serializable form of a finished simulation.
+type Dataset struct {
+	Meta     Meta
+	Accounts []osn.Account
+	Edges    []graph.EdgeTriple
+	Events   []osn.Event
+	// Ground truth, by account ID.
+	SybilIDs  []osn.AccountID
+	NormalIDs []osn.AccountID
+}
+
+// FromNetwork captures a network plus its ground-truth ID sets.
+func FromNetwork(net *osn.Network, meta Meta, sybils, normals []osn.AccountID) *Dataset {
+	meta.Normals = len(normals)
+	meta.Sybils = len(sybils)
+	return &Dataset{
+		Meta:      meta,
+		Accounts:  append([]osn.Account(nil), net.Accounts()...),
+		Edges:     net.Graph().Edges(),
+		Events:    append([]osn.Event(nil), net.Events()...),
+		SybilIDs:  append([]osn.AccountID(nil), sybils...),
+		NormalIDs: append([]osn.AccountID(nil), normals...),
+	}
+}
+
+// Rebuild reconstructs the network.
+func (d *Dataset) Rebuild() *osn.Network {
+	return osn.Restore(d.Accounts, d.Edges, d.Events)
+}
+
+// Write streams the dataset as gzipped gob.
+func (d *Dataset) Write(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	if err := gob.NewEncoder(zw).Encode(d); err != nil {
+		zw.Close()
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return zw.Close()
+}
+
+// Read decodes a dataset written by Write.
+func Read(r io.Reader) (*Dataset, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: gzip: %w", err)
+	}
+	defer zr.Close()
+	var d Dataset
+	if err := gob.NewDecoder(zr).Decode(&d); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return &d, nil
+}
+
+// Save writes the dataset to a file.
+func (d *Dataset) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := d.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a dataset from a file.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// WriteJSON exports the dataset as (uncompressed) JSON, for
+// consumption outside Go.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(d); err != nil {
+		return fmt.Errorf("trace: json: %w", err)
+	}
+	return nil
+}

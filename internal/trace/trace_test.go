@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sybilwild/internal/features"
+	"sybilwild/internal/osn"
+)
+
+func sampleNetwork(t *testing.T) (*osn.Network, []osn.AccountID, []osn.AccountID) {
+	t.Helper()
+	net := osn.NewNetwork()
+	s := net.CreateAccount(osn.Female, osn.Sybil, 0)
+	a := net.CreateAccount(osn.Male, osn.Normal, 0)
+	b := net.CreateAccount(osn.Female, osn.Normal, 0)
+	net.SendFriendRequest(s, a, 10)
+	net.RespondFriendRequest(a, s, true, 20)
+	net.SendFriendRequest(s, b, 30)
+	net.RespondFriendRequest(b, s, false, 40)
+	net.Ban(s, 50)
+	return net, []osn.AccountID{s}, []osn.AccountID{a, b}
+}
+
+func TestRoundTripBuffer(t *testing.T) {
+	net, sybils, normals := sampleNetwork(t)
+	ds := FromNetwork(net, Meta{Seed: 42, Description: "test", DurationH: 400}, sybils, normals)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != ds.Meta {
+		t.Fatalf("meta mismatch: %+v vs %+v", got.Meta, ds.Meta)
+	}
+	if len(got.Accounts) != 3 || len(got.Events) != len(ds.Events) || len(got.Edges) != 1 {
+		t.Fatalf("shape mismatch: %d accounts %d events %d edges",
+			len(got.Accounts), len(got.Events), len(got.Edges))
+	}
+	if got.Meta.Sybils != 1 || got.Meta.Normals != 2 {
+		t.Fatalf("counts: %+v", got.Meta)
+	}
+}
+
+func TestRebuildPreservesAnalysis(t *testing.T) {
+	net, sybils, normals := sampleNetwork(t)
+	ds := FromNetwork(net, Meta{}, sybils, normals)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := loaded.Rebuild()
+	// Feature extraction must be identical on the rebuilt network.
+	orig := features.Extract(net, []osn.AccountID{sybils[0]})[0]
+	rebuilt := features.Extract(re, []osn.AccountID{loaded.SybilIDs[0]})[0]
+	if orig != rebuilt {
+		t.Fatalf("features diverge after round trip:\n%+v\n%+v", orig, rebuilt)
+	}
+	// Ban state must survive.
+	if !re.Account(sybils[0]).Banned || re.Account(sybils[0]).BannedAt != 50 {
+		t.Fatal("ban state lost")
+	}
+	if re.Graph().NumEdges() != net.Graph().NumEdges() {
+		t.Fatal("edges lost")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	net, sybils, normals := sampleNetwork(t)
+	ds := FromNetwork(net, Meta{Seed: 7}, sybils, normals)
+	path := filepath.Join(t.TempDir(), "ds.gob.gz")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta.Seed != 7 {
+		t.Fatalf("seed = %d", got.Meta.Seed)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.gob.gz")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestReadGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not gzip"))); err == nil {
+		t.Fatal("expected error for garbage input")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	net, sybils, normals := sampleNetwork(t)
+	ds := FromNetwork(net, Meta{Description: "j"}, sybils, normals)
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"Description"`)) {
+		t.Fatal("json missing fields")
+	}
+}
+
+func TestSaveToBadPath(t *testing.T) {
+	net, sybils, normals := sampleNetwork(t)
+	ds := FromNetwork(net, Meta{}, sybils, normals)
+	if err := ds.Save(string(os.PathSeparator) + "no/such/dir/x.gz"); err == nil {
+		t.Fatal("expected error for bad path")
+	}
+}
