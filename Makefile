@@ -1,0 +1,33 @@
+# Targets mirror .github/workflows/ci.yml one to one, so a green
+# `make ci` locally means a green CI run.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Single-iteration pass over every benchmark: proves they run, reports
+# the reproduced paper metrics, stays inside a CI budget.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build race bench

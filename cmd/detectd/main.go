@@ -4,19 +4,23 @@
 // incrementally, and reports accounts crossing the detection
 // thresholds the moment they do.
 //
+// Detection runs on a sharded concurrent pipeline: accounts are
+// hash-partitioned across -shards workers (default GOMAXPROCS), each
+// owning its slice of feature state, so classification keeps up with
+// production-scale feeds.
+//
 // Usage:
 //
-//	detectd -addr 127.0.0.1:7474
+//	detectd -addr 127.0.0.1:7474 -shards 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 
 	"sybilwild/internal/detector"
-	"sybilwild/internal/features"
-	"sybilwild/internal/graph"
 	"sybilwild/internal/osn"
 	"sybilwild/internal/stream"
 )
@@ -32,6 +36,7 @@ func main() {
 		minObs     = flag.Int("min-requests", 10, "requests observed before judging")
 		retries    = flag.Int("retries", 10, "max consecutive reconnect attempts")
 		checkEvery = flag.Int("check-every", 5, "evaluate an account every Nth request it sends")
+		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "detection pipeline shards")
 	)
 	flag.Parse()
 
@@ -41,47 +46,29 @@ func main() {
 		CCMax:        *ccMax,
 		MinObserved:  *minObs,
 	}
-	fmt.Printf("rule: %v\nsubscribing to %s\n", rule, *addr)
+	fmt.Printf("rule: %v\nsubscribing to %s (%d shards)\n", rule, *addr, *shards)
 
-	// The daemon rebuilds the friendship graph from the feed: an accept
-	// event is an edge creation.
-	g := graph.New(0)
-	ensure := func(id osn.AccountID) {
-		for graph.NodeID(g.NumNodes()) <= id {
-			g.AddNode()
-		}
-	}
-	tracker := features.NewTracker(g)
-	flagged := map[osn.AccountID]bool{}
-	sent := map[osn.AccountID]int{}
+	// The pipeline rebuilds the friendship graph from the feed (an
+	// accept event is an edge creation) and fans events out to the
+	// shard owning each account.
+	p := detector.NewPipeline(rule, nil,
+		detector.WithShards(*shards),
+		detector.WithGraphReconstruction(),
+		detector.WithCheckEvery(*checkEvery),
+		detector.WithFlagHook(func(f detector.Flag) {
+			fmt.Printf("FLAG account %d at t=%d: freq=%.1f/h outAccept=%.2f cc=%.4f sent=%d\n",
+				f.ID, f.At, f.Vector.Freq1h, f.Vector.OutAccept, f.Vector.CC, f.Vector.OutSent)
+		}))
+
 	events := 0
-
 	err := stream.Subscribe(*addr, func(ev osn.Event) {
 		events++
-		ensure(ev.Actor)
-		ensure(ev.Target)
-		if ev.Type == osn.EvFriendAccept {
-			g.AddEdge(ev.Actor, ev.Target, ev.At)
-		}
-		tracker.Update(ev)
-		if ev.Type != osn.EvFriendRequest || flagged[ev.Actor] {
-			return
-		}
-		// Evaluating costs a clustering-coefficient computation; sample
-		// every Nth request per account to keep up with the feed.
-		sent[ev.Actor]++
-		if sent[ev.Actor]%*checkEvery != 0 {
-			return
-		}
-		if v := tracker.VectorOf(ev.Actor); rule.Classify(v) {
-			flagged[ev.Actor] = true
-			fmt.Printf("FLAG account %d at t=%d: freq=%.1f/h outAccept=%.2f cc=%.4f sent=%d\n",
-				ev.Actor, ev.At, v.Freq1h, v.OutAccept, v.CC, v.OutSent)
-		}
+		p.Observe(ev)
 	}, *retries)
+	p.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("feed ended: %d events, %d accounts tracked, %d flagged\n",
-		events, tracker.Tracked(), len(flagged))
+		events, p.Tracked(), p.FlaggedCount())
 }

@@ -1,17 +1,19 @@
 // Realtime: the deployed architecture in one process — an OSN
 // simulation streaming its operational log over TCP (renrend's role)
-// and a detector daemon consuming the feed, reconstructing the graph,
-// and flagging Sybils live (detectd's role).
+// and a sharded concurrent detection pipeline consuming the feed,
+// reconstructing the graph, and flagging Sybils live (detectd's role).
+// The OSN side uses osn.FanOut to drive two consumers off one observer
+// registration: the wire broadcaster and an in-process serial Monitor
+// that cross-checks the pipeline's verdicts.
 package main
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"sybilwild/internal/agents"
 	"sybilwild/internal/detector"
-	"sybilwild/internal/features"
-	"sybilwild/internal/graph"
 	"sybilwild/internal/osn"
 	"sybilwild/internal/sim"
 	"sybilwild/internal/stream"
@@ -24,46 +26,44 @@ func main() {
 	}
 	fmt.Println("event feed on", srv.Addr())
 
-	// --- detector side (would be cmd/detectd in production) ---
 	rule := detector.Rule{OutAcceptMax: 0.5, FreqMin: 20, CCMax: 0.05, MinObserved: 10}
-	g := graph.New(0)
-	tracker := features.NewTracker(g)
-	flagged := map[osn.AccountID]bool{}
+
+	// --- detector side (cmd/detectd in production): sharded pipeline
+	// fed from the wire, rebuilding the friendship graph from accepts.
+	shards := runtime.GOMAXPROCS(0)
+	pipe := detector.NewPipeline(rule, nil,
+		detector.WithShards(shards),
+		detector.WithGraphReconstruction())
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		err := stream.Subscribe(srv.Addr(), func(ev osn.Event) {
-			for graph.NodeID(g.NumNodes()) <= max(ev.Actor, ev.Target) {
-				g.AddNode()
-			}
-			if ev.Type == osn.EvFriendAccept {
-				g.AddEdge(ev.Actor, ev.Target, ev.At)
-			}
-			tracker.Update(ev)
-			if ev.Type == osn.EvFriendRequest && !flagged[ev.Actor] {
-				if v := tracker.VectorOf(ev.Actor); rule.Classify(v) {
-					flagged[ev.Actor] = true
-				}
-			}
-		}, 5)
-		if err != nil {
+		if err := stream.Subscribe(srv.Addr(), pipe.Observe, 5); err != nil {
 			fmt.Println("subscriber error:", err)
 		}
+		pipe.Close()
 	}()
 
-	// --- OSN side (would be cmd/renrend in production) ---
+	// --- OSN side (cmd/renrend in production): one observer hook fans
+	// out to the feed broadcaster and a local serial reference monitor.
 	pop := agents.NewPopulation(3, agents.DefaultParams())
-	pop.Net.RegisterObserver(func(ev osn.Event) { srv.Broadcast(ev) })
+	monitor := detector.NewMonitor(rule, pop.Net.Graph(), nil)
+	pop.Net.RegisterObserver(osn.FanOut(
+		func(ev osn.Event) { srv.Broadcast(ev) },
+		// The monitor only consumes the friend-request lifecycle;
+		// filtering here skips the feed events at the dispatch layer.
+		osn.FilterTypes(monitor.Observe,
+			osn.EvFriendRequest, osn.EvFriendAccept, osn.EvFriendReject),
+	))
 	pop.Bootstrap(3000)
 	pop.LaunchSybils(40, 100*sim.TicksPerHour)
 	pop.RunFor(400 * sim.TicksPerHour)
 	srv.Close() // end of feed
 	wg.Wait()
 
-	// Score the daemon's verdicts against ground truth.
+	// Score the pipeline's verdicts against ground truth.
 	tp, fp := 0, 0
-	for id := range flagged {
+	for _, id := range pipe.FlaggedIDs() {
 		if pop.Net.Account(id).Kind == osn.Sybil {
 			tp++
 		} else {
@@ -71,14 +71,8 @@ func main() {
 		}
 	}
 	fmt.Printf("streamed campaign: %s\n", pop.Stats())
-	fmt.Printf("flagged over the wire: %d sybils (of %d), %d normals (of %d)\n",
-		tp, len(pop.Sybils), fp, len(pop.Normals))
+	fmt.Printf("flagged over the wire (%d shards): %d sybils (of %d), %d normals (of %d)\n",
+		shards, tp, len(pop.Sybils), fp, len(pop.Normals))
+	fmt.Printf("serial in-process monitor flagged %d for comparison\n", monitor.FlaggedCount())
 	fmt.Printf("events dropped by feed backpressure: %d\n", srv.Dropped())
-}
-
-func max(a, b osn.AccountID) osn.AccountID {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,3 @@
+module sybilwild
+
+go 1.22

@@ -1,0 +1,377 @@
+package detector
+
+import (
+	"runtime"
+	"sync"
+
+	"sybilwild/internal/features"
+	"sybilwild/internal/graph"
+	"sybilwild/internal/osn"
+	"sybilwild/internal/sim"
+)
+
+// Pipeline is the sharded, concurrent counterpart of Monitor. Accounts
+// are hash-partitioned across N shards; each shard owns the feature
+// counters of its accounts outright (no shared tracker, no global
+// lock) and drains its own buffered event channel. Observe is the
+// fan-out dispatcher: it routes each event to the shard owning the
+// actor and the shard owning the target, so every counter is written
+// by exactly one goroutine. Flags from all shards funnel through a
+// single merge goroutine, which records them and fires the flag hook.
+//
+// Fed the same single-goroutine event stream over the same static
+// graph, Pipeline flags exactly the set Monitor flags (per-account
+// event order is preserved end to end); Monitor remains the serial
+// reference implementation that TestPipelineMatchesMonitor checks
+// against. Observe itself is safe to call from many goroutines, which
+// is how production traffic — per-frontend feeds — would enter it.
+//
+// Lifecycle: NewPipeline starts the shard and merge goroutines
+// immediately; call Observe for each event, then Close exactly once,
+// after all Observe calls have returned, to drain and stop. Flagged
+// state may be queried at any time; Tracked and Graph only after
+// Close.
+type Pipeline struct {
+	c          Classifier
+	checkEvery int
+
+	// Graph access. In the default mode g is a caller-provided graph
+	// that must not be mutated while the pipeline runs, and gmu is
+	// unused. With WithGraphReconstruction the pipeline owns g, grows
+	// it from accept events under gmu, and shards take the read side
+	// to compute clustering coefficients.
+	g        *graph.Graph
+	gmu      sync.RWMutex
+	ownGraph bool
+
+	shards []*pshard
+
+	flags     chan Flag
+	mergeDone chan struct{}
+	onFlag    func(Flag)
+
+	fmu     sync.RWMutex
+	flagged map[osn.AccountID]Flag
+
+	closeOnce sync.Once
+}
+
+// Flag is one detection verdict: which account, when, and the feature
+// vector that crossed the thresholds.
+type Flag struct {
+	ID     osn.AccountID
+	At     sim.Time
+	Vector features.Vector
+}
+
+// pshard is one partition: a goroutine draining in, the feature
+// counters of the accounts hashed to it, and its slice of the
+// per-account evaluation bookkeeping.
+type pshard struct {
+	p       *Pipeline
+	in      chan shardEvent
+	tr      *features.Tracker
+	seen    map[osn.AccountID]int
+	flagged map[osn.AccountID]bool
+	done    chan struct{}
+}
+
+// shardEvent tells a shard which side(s) of the event it owns. When
+// actor and target hash to the same shard one message carries both
+// roles.
+type shardEvent struct {
+	ev            osn.Event
+	actor, target bool
+}
+
+// PipelineOption configures NewPipeline.
+type PipelineOption func(*Pipeline)
+
+// WithShards sets the shard count (default runtime.GOMAXPROCS(0);
+// values < 1 mean the default).
+func WithShards(n int) PipelineOption {
+	return func(p *Pipeline) {
+		if n >= 1 {
+			p.shards = make([]*pshard, n)
+		}
+	}
+}
+
+// WithCheckEvery evaluates an account every n-th request it sends,
+// like Monitor.CheckEvery (values < 1 normalize to 1).
+func WithCheckEvery(n int) PipelineOption {
+	return func(p *Pipeline) { p.checkEvery = n }
+}
+
+// WithFlagHook installs fn, called exactly once per flagged account
+// from the merge goroutine (so hooks never run concurrently). The hook
+// must not call Close or Observe (feeding events from the merge
+// goroutine can deadlock against a full shard buffer); to act on the
+// network, record the flag and apply it from the producer side, as
+// TestMonitorOnLiveCampaign's ban action does.
+func WithFlagHook(fn func(Flag)) PipelineOption {
+	return func(p *Pipeline) { p.onFlag = fn }
+}
+
+// WithGraphReconstruction has the pipeline build its own friendship
+// graph from the accept events it observes, the way detectd
+// reconstructs Renren's store from the feed. The graph argument to
+// NewPipeline is ignored and may be nil.
+func WithGraphReconstruction() PipelineOption {
+	return func(p *Pipeline) { p.ownGraph = true }
+}
+
+// shardBuffer is the per-shard channel depth. Deep enough to ride out
+// shard-local bursts (one account evaluating an expensive clustering
+// coefficient), small enough that backpressure reaches the producer
+// before memory does.
+const shardBuffer = 1024
+
+// NewPipeline builds and starts a pipeline classifying with c over
+// friendship graph g. The returned pipeline is live: wire Observe to
+// an event source (e.g. Network.RegisterObserver) and Close when the
+// stream ends.
+func NewPipeline(c Classifier, g *graph.Graph, opts ...PipelineOption) *Pipeline {
+	p := &Pipeline{
+		c:          c,
+		g:          g,
+		checkEvery: 1,
+		flags:      make(chan Flag, 256),
+		mergeDone:  make(chan struct{}),
+		flagged:    make(map[osn.AccountID]Flag),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	if p.checkEvery < 1 {
+		p.checkEvery = 1
+	}
+	if p.ownGraph {
+		p.g = graph.New(0)
+	}
+	if p.g == nil {
+		panic("detector: NewPipeline needs a graph unless WithGraphReconstruction is set")
+	}
+	if p.shards == nil {
+		p.shards = make([]*pshard, runtime.GOMAXPROCS(0))
+	}
+	for i := range p.shards {
+		s := &pshard{
+			p:       p,
+			in:      make(chan shardEvent, shardBuffer),
+			tr:      features.NewTracker(p.g),
+			seen:    make(map[osn.AccountID]int),
+			flagged: make(map[osn.AccountID]bool),
+			done:    make(chan struct{}),
+		}
+		p.shards[i] = s
+		go s.run()
+	}
+	go p.merge()
+	return p
+}
+
+// shardOf hash-partitions an account. Dense sequential IDs are mixed
+// (splitmix64 finalizer) so shard load stays balanced regardless of
+// how IDs were assigned.
+func (p *Pipeline) shardOf(id osn.AccountID) *pshard {
+	x := uint64(uint32(id))
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return p.shards[x%uint64(len(p.shards))]
+}
+
+// Observe is the dispatcher: it routes one event to the shard(s)
+// owning its endpoints, maintaining the reconstructed graph first when
+// the pipeline owns it. Safe for concurrent use. Blocks when a shard's
+// buffer is full — backpressure lands on the producer rather than in
+// unbounded memory. Must not be called after (or concurrently with)
+// Close.
+func (p *Pipeline) Observe(ev osn.Event) {
+	switch ev.Type {
+	case osn.EvFriendRequest, osn.EvFriendAccept:
+	default:
+		return // no feature in §2.2 consumes the rest of the log
+	}
+	if p.ownGraph {
+		p.extendGraph(ev)
+	}
+	sa := p.shardOf(ev.Actor)
+	st := p.shardOf(ev.Target)
+	if sa == st {
+		sa.in <- shardEvent{ev: ev, actor: true, target: true}
+		return
+	}
+	sa.in <- shardEvent{ev: ev, actor: true}
+	st.in <- shardEvent{ev: ev, target: true}
+}
+
+// extendGraph grows the owned graph to cover the event's accounts and
+// records accept events as edges, before the event is visible to any
+// shard — so a shard evaluating an account never sees counters ahead
+// of the graph.
+func (p *Pipeline) extendGraph(ev osn.Event) {
+	hi := ev.Actor
+	if ev.Target > hi {
+		hi = ev.Target
+	}
+	// Fast path: requests between already-known accounts mutate
+	// nothing, so the steady-state feed never takes the write lock and
+	// the dispatcher stays off the shards' read-side critical path.
+	if ev.Type == osn.EvFriendRequest {
+		p.gmu.RLock()
+		known := graph.NodeID(p.g.NumNodes()) > hi
+		p.gmu.RUnlock()
+		if known {
+			return
+		}
+	}
+	p.gmu.Lock()
+	for graph.NodeID(p.g.NumNodes()) <= hi {
+		p.g.AddNode()
+	}
+	if ev.Type == osn.EvFriendAccept && ev.Actor != ev.Target {
+		p.g.AddEdge(ev.Actor, ev.Target, ev.At)
+	}
+	p.gmu.Unlock()
+}
+
+// fillCC computes the clustering coefficient for v.ID, taking the
+// graph read lock only when the pipeline is mutating the graph itself.
+func (p *Pipeline) fillCC(v *features.Vector) {
+	if p.ownGraph {
+		p.gmu.RLock()
+	}
+	if int(v.ID) < p.g.NumNodes() {
+		v.CC = p.g.ClusteringFirstK(v.ID, features.FirstFriendsK)
+	}
+	if p.ownGraph {
+		p.gmu.RUnlock()
+	}
+}
+
+// run is the shard loop: apply the owned side(s) of each event, then
+// evaluate the sender on its due friend requests.
+func (s *pshard) run() {
+	defer close(s.done)
+	for se := range s.in {
+		if se.actor {
+			s.tr.UpdateActor(se.ev)
+		}
+		if se.target {
+			s.tr.UpdateTarget(se.ev)
+		}
+		if !se.actor || se.ev.Type != osn.EvFriendRequest {
+			continue
+		}
+		id := se.ev.Actor
+		if s.flagged[id] {
+			continue
+		}
+		s.seen[id]++
+		if s.seen[id]%s.p.checkEvery != 0 {
+			continue
+		}
+		v := s.tr.CountsOf(id)
+		s.p.fillCC(&v)
+		if s.p.c.Classify(v) {
+			s.flagged[id] = true
+			s.p.flags <- Flag{ID: id, At: se.ev.At, Vector: v}
+		}
+	}
+}
+
+// merge collects flags from all shards into the global verdict map and
+// fires the hook, serialized. The dup check is a defensive backstop:
+// each account is owned by exactly one shard, whose local flagged map
+// already guarantees at most one Flag per account.
+func (p *Pipeline) merge() {
+	defer close(p.mergeDone)
+	for f := range p.flags {
+		p.fmu.Lock()
+		_, dup := p.flagged[f.ID]
+		if !dup {
+			p.flagged[f.ID] = f
+		}
+		p.fmu.Unlock()
+		if !dup && p.onFlag != nil {
+			p.onFlag(f)
+		}
+	}
+}
+
+// Close drains every shard, stops all pipeline goroutines, and waits
+// for the merge stage to finish. All Observe calls must have returned.
+// Close is idempotent.
+func (p *Pipeline) Close() {
+	p.closeOnce.Do(func() {
+		for _, s := range p.shards {
+			close(s.in)
+		}
+		for _, s := range p.shards {
+			<-s.done
+		}
+		close(p.flags)
+		<-p.mergeDone
+	})
+}
+
+// NumShards returns the shard count.
+func (p *Pipeline) NumShards() int { return len(p.shards) }
+
+// Flagged reports whether an account has been flagged. Safe to call
+// while the pipeline runs; a flag becomes visible once the merge stage
+// has recorded it.
+func (p *Pipeline) Flagged(id osn.AccountID) bool {
+	p.fmu.RLock()
+	_, ok := p.flagged[id]
+	p.fmu.RUnlock()
+	return ok
+}
+
+// FlaggedCount returns the number of flagged accounts so far.
+func (p *Pipeline) FlaggedCount() int {
+	p.fmu.RLock()
+	n := len(p.flagged)
+	p.fmu.RUnlock()
+	return n
+}
+
+// FlaggedIDs returns all flagged accounts (order unspecified).
+func (p *Pipeline) FlaggedIDs() []osn.AccountID {
+	p.fmu.RLock()
+	out := make([]osn.AccountID, 0, len(p.flagged))
+	for id := range p.flagged {
+		out = append(out, id)
+	}
+	p.fmu.RUnlock()
+	return out
+}
+
+// Flags returns the full verdicts (order unspecified).
+func (p *Pipeline) Flags() []Flag {
+	p.fmu.RLock()
+	out := make([]Flag, 0, len(p.flagged))
+	for _, f := range p.flagged {
+		out = append(out, f)
+	}
+	p.fmu.RUnlock()
+	return out
+}
+
+// Tracked returns the number of accounts with observed activity,
+// summed across shards. Only valid after Close (shard state is
+// goroutine-local while running).
+func (p *Pipeline) Tracked() int {
+	n := 0
+	for _, s := range p.shards {
+		n += s.tr.Tracked()
+	}
+	return n
+}
+
+// Graph exposes the pipeline's graph — the reconstructed one under
+// WithGraphReconstruction, otherwise the caller's. Only read it after
+// Close.
+func (p *Pipeline) Graph() *graph.Graph { return p.g }

@@ -83,22 +83,50 @@ func NewTracker(g *graph.Graph) *Tracker {
 
 // Update folds one event into the feature state.
 func (t *Tracker) Update(ev osn.Event) {
+	t.UpdateActor(ev)
+	t.UpdateTarget(ev)
+}
+
+// UpdateActor folds in only the state owned by ev.Actor. Together with
+// UpdateTarget it splits Update along account-ownership lines, which is
+// what lets a sharded pipeline partition tracker state by account: the
+// shard owning ev.Actor applies UpdateActor, the shard owning ev.Target
+// applies UpdateTarget, and no counter is touched by two shards.
+func (t *Tracker) UpdateActor(ev osn.Event) {
 	switch ev.Type {
 	case osn.EvFriendRequest:
 		c := t.get(ev.Actor)
+		// Min/max rather than first/last seen: concurrent producers
+		// (Pipeline.Observe from several frontends) may deliver an
+		// account's requests out of timestamp order, and a negative
+		// span would blow up the per-window frequencies.
 		if c.outSent == 0 {
-			c.firstSent = ev.At
+			c.firstSent, c.lastSent = ev.At, ev.At
+		} else {
+			if ev.At < c.firstSent {
+				c.firstSent = ev.At
+			}
+			if ev.At > c.lastSent {
+				c.lastSent = ev.At
+			}
 		}
 		c.outSent++
-		c.lastSent = ev.At
-		t.get(ev.Target).inReceived++
 	case osn.EvFriendAccept:
 		// Actor accepted Target's request.
-		t.get(ev.Target).outAccepted++
 		t.get(ev.Actor).inAccepted++
 	case osn.EvFriendReject:
 		// Reject contributes to the incoming denominator only, which
 		// inReceived already counted at request time.
+	}
+}
+
+// UpdateTarget folds in only the state owned by ev.Target.
+func (t *Tracker) UpdateTarget(ev osn.Event) {
+	switch ev.Type {
+	case osn.EvFriendRequest:
+		t.get(ev.Target).inReceived++
+	case osn.EvFriendAccept:
+		t.get(ev.Target).outAccepted++
 	}
 }
 
@@ -116,6 +144,19 @@ func (t *Tracker) Tracked() int { return len(t.acct) }
 
 // VectorOf computes the current feature vector for an account.
 func (t *Tracker) VectorOf(id osn.AccountID) Vector {
+	v := t.CountsOf(id)
+	if int(id) < t.g.NumNodes() {
+		v.CC = t.g.ClusteringFirstK(id, FirstFriendsK)
+	}
+	return v
+}
+
+// CountsOf computes the feature vector from the tracker's own counters
+// alone, leaving CC at zero. Callers that guard the graph themselves
+// (the sharded pipeline takes a read lock while edges are still being
+// reconstructed from the feed) use this and fill in CC under their own
+// synchronization.
+func (t *Tracker) CountsOf(id osn.AccountID) Vector {
 	v := Vector{ID: id}
 	if c, ok := t.acct[id]; ok {
 		v.OutSent = c.outSent
@@ -131,9 +172,6 @@ func (t *Tracker) VectorOf(id osn.AccountID) Vector {
 		if v.InReceived > 0 {
 			v.InAccept = float64(c.inAccepted) / float64(c.inReceived)
 		}
-	}
-	if int(id) < t.g.NumNodes() {
-		v.CC = t.g.ClusteringFirstK(id, FirstFriendsK)
 	}
 	return v
 }

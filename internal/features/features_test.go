@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"sybilwild/internal/graph"
 	"sybilwild/internal/osn"
 	"sybilwild/internal/sim"
 )
@@ -187,5 +188,25 @@ func TestPerWindowBoundaries(t *testing.T) {
 	}
 	if got := perWindow(6, 60, 60); got != 3 {
 		t.Fatalf("perWindow(6, 60, 60) = %v", got)
+	}
+}
+
+func TestTrackerOutOfOrderTimestamps(t *testing.T) {
+	// Concurrent producers can deliver an account's requests out of
+	// timestamp order; the activity span must be min..max, never
+	// negative (a negative span used to divide by zero windows and
+	// produce ±Inf frequencies).
+	g := graph.New(3)
+	g.AddNodes(3)
+	tr := NewTracker(g)
+	tr.Update(osn.Event{Type: osn.EvFriendRequest, At: 3999, Actor: 0, Target: 1})
+	tr.Update(osn.Event{Type: osn.EvFriendRequest, At: 5, Actor: 0, Target: 2})
+	v := tr.VectorOf(0)
+	if math.IsInf(v.Freq1h, 0) || math.IsNaN(v.Freq1h) || v.Freq1h < 0 {
+		t.Fatalf("Freq1h = %v with out-of-order timestamps", v.Freq1h)
+	}
+	// span = 3994 ticks ⇒ 67 one-hour windows ⇒ 2/67.
+	if want := 2.0 / 67.0; math.Abs(v.Freq1h-want) > 1e-12 {
+		t.Fatalf("Freq1h = %v, want %v", v.Freq1h, want)
 	}
 }
