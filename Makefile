@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet ci
+.PHONY: all build test race bench fmt vet docs ci
 
 all: build
 
@@ -30,4 +30,18 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench
+# Documentation gate: vet plus a check that every package (library and
+# command alike) carries a package comment following the repo's
+# `// Package <name>` / `// Command <name>` convention, so `go doc`
+# always has something to say.
+docs: vet
+	@fail=0; \
+	for d in $$($(GO) list -f '{{.Dir}}' ./...); do \
+		if ! grep -q -E '^// (Package|Command) ' $$d/*.go; then \
+			echo "missing package comment: $$d" >&2; fail=1; \
+		fi; \
+	done; \
+	if [ $$fail -ne 0 ]; then exit 1; fi; \
+	echo "all packages documented"
+
+ci: fmt vet build race bench docs

@@ -444,6 +444,34 @@ func BenchmarkPipeline(b *testing.B) {
 	})
 }
 
+// BenchmarkPipelineBatch replays the trace through ObserveBatch in
+// wire-batch-sized chunks — the path detectd takes off the v2 feed
+// (stream batches → one channel hop per shard), compared against the
+// per-event Observe dispatch of BenchmarkPipeline.
+func BenchmarkPipelineBatch(b *testing.B) {
+	events, g := realtimeWorkload(b)
+	rule := detector.PaperRule()
+	const chunk = 256 // stream.DefaultMaxBatch
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			flagged := 0
+			for i := 0; i < b.N; i++ {
+				p := detector.NewPipeline(rule, g, detector.WithShards(shards))
+				for off := 0; off < len(events); off += chunk {
+					end := off + chunk
+					if end > len(events) {
+						end = len(events)
+					}
+					p.ObserveBatch(events[off:end])
+				}
+				p.Close()
+				flagged = p.FlaggedCount()
+			}
+			reportRealtime(b, flagged, len(events))
+		})
+	}
+}
+
 // BenchmarkCampaignSimulation times the full agent-level pipeline —
 // the cost of generating one ground-truth campaign.
 func BenchmarkCampaignSimulation(b *testing.B) {

@@ -7,7 +7,12 @@
 // Detection runs on a sharded concurrent pipeline: accounts are
 // hash-partitioned across -shards workers (default GOMAXPROCS), each
 // owning its slice of feature state, so classification keeps up with
-// production-scale feeds.
+// production-scale feeds. Ingestion rides the v2 feed protocol at
+// batch granularity: each wire batch enters the pipeline through
+// ObserveBatch (one channel hop per shard), and the subscription
+// resumes from the last delivered sequence if the connection drops,
+// so a network blip costs no events (see docs/ARCHITECTURE.md for the
+// delivery contract).
 //
 // Usage:
 //
@@ -60,15 +65,16 @@ func main() {
 				f.ID, f.At, f.Vector.Freq1h, f.Vector.OutAccept, f.Vector.CC, f.Vector.OutSent)
 		}))
 
-	events := 0
-	err := stream.Subscribe(*addr, func(ev osn.Event) {
-		events++
-		p.Observe(ev)
+	events, batches := 0, 0
+	err := stream.SubscribeBatch(*addr, func(evs []osn.Event) {
+		events += len(evs)
+		batches++
+		p.ObserveBatch(evs)
 	}, *retries)
 	p.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("feed ended: %d events, %d accounts tracked, %d flagged\n",
-		events, p.Tracked(), p.FlaggedCount())
+	fmt.Printf("feed ended: %d events in %d batches, %d accounts tracked, %d flagged\n",
+		events, batches, p.Tracked(), p.FlaggedCount())
 }

@@ -1,11 +1,16 @@
 // Command renrend runs the OSN simulation as a network service: it
 // listens on a TCP port and streams every operational-log event to
-// connected subscribers as newline-delimited JSON — the role Renren's
+// connected subscribers over the v2 feed protocol (sequence-numbered,
+// acked batches; see docs/ARCHITECTURE.md) — the role Renren's
 // production log feed played for the paper's deployed detector.
+// Delivery is at least once: a slow subscriber applies backpressure
+// to the simulation instead of losing events, and a briefly
+// disconnected one resumes from its last delivered sequence.
 //
 // The simulation starts once the first subscriber connects (so a
 // detector daemon never misses the campaign), then streams the whole
-// campaign and exits.
+// campaign, drains every subscriber's replay window, and exits with a
+// sent-vs-delivered accounting line.
 //
 // Usage:
 //
@@ -34,8 +39,7 @@ func main() {
 		sybils  = flag.Int("sybils", 80, "Sybil accounts")
 		hours   = flag.Int64("hours", 400, "observation window (hours)")
 		wait    = flag.Duration("wait", 30*time.Second, "max wait for a first subscriber")
-		linger  = flag.Duration("linger", 2*time.Second, "drain time before exit")
-		maxRate = flag.Int("maxrate", 40000, "max events/second streamed (0 = unlimited); pacing lets slow subscribers keep up")
+		maxRate = flag.Int("maxrate", 0, "max events/second streamed (0 = unlimited); v2 backpressure already paces slow subscribers, set this only to smooth bursts")
 	)
 	flag.Parse()
 
@@ -77,6 +81,8 @@ func main() {
 	pop.RunFor(*hours * sim.TicksPerHour)
 
 	fmt.Println(pop.Stats())
-	fmt.Printf("campaign complete; dropped=%d; draining %v\n", srv.Dropped(), *linger)
-	time.Sleep(*linger)
+	fmt.Println("campaign complete; draining subscriber replay windows")
+	srv.Close() // blocks until every subscriber drained (or the drain timeout cut it off)
+	st := srv.Stats()
+	fmt.Printf("sent=%d delivered=%d sessions_evicted=%d\n", st.Broadcast, st.Delivered, st.Evicted)
 }

@@ -1,4 +1,5 @@
-// Adaptive thresholds: the paper's production detector "uses an
+// Command adaptive demonstrates the adaptive thresholds of the
+// paper's production detector, which "uses an
 // adaptive feedback scheme to dynamically tune threshold parameters on
 // the fly" (§2.3). This example shows why that matters: a second wave
 // of Sybils lowers its invitation rate below the original frequency

@@ -1,5 +1,5 @@
-// Quickstart: simulate a Sybil campaign, fit the paper's threshold
-// detector on ground truth, and evaluate it — the end-to-end pipeline
+// Command quickstart simulates a Sybil campaign, fits the paper's threshold
+// detector on ground truth, and evaluates it — the end-to-end pipeline
 // in ~40 lines of API use.
 package main
 

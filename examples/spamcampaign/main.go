@@ -1,4 +1,5 @@
-// Spam campaign: the scenario that motivates the paper's §2.1 — Sybils
+// Command spamcampaign runs the scenario that motivates the paper's
+// §2.1 — Sybils
 // befriend users to spam advertisements, both as direct messages and
 // as blog entries that cascade through re-shares ("forwarded across
 // multiple social hops much like retweets"). This example runs the

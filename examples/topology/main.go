@@ -1,4 +1,4 @@
-// Topology analysis: the paper's §3 pipeline over a generated
+// Command topology runs the paper's §3 analyses over a generated
 // 660K-scale (scaled by -scale) Sybil population — degree makeup,
 // connected components, the giant-but-loose component, and why
 // community-based defenses cannot see any of it.

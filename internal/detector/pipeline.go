@@ -27,10 +27,10 @@ import (
 // is how production traffic — per-frontend feeds — would enter it.
 //
 // Lifecycle: NewPipeline starts the shard and merge goroutines
-// immediately; call Observe for each event, then Close exactly once,
-// after all Observe calls have returned, to drain and stop. Flagged
-// state may be queried at any time; Tracked and Graph only after
-// Close.
+// immediately; call Observe per event (or ObserveBatch per wire
+// batch), then Close exactly once, after all Observe/ObserveBatch
+// calls have returned, to drain and stop. Flagged state may be
+// queried at any time; Tracked and Graph only after Close.
 type Pipeline struct {
 	c          Classifier
 	checkEvery int
@@ -69,7 +69,7 @@ type Flag struct {
 // per-account evaluation bookkeeping.
 type pshard struct {
 	p       *Pipeline
-	in      chan shardEvent
+	in      chan shardMsg
 	tr      *features.Tracker
 	seen    map[osn.AccountID]int
 	flagged map[osn.AccountID]bool
@@ -82,6 +82,14 @@ type pshard struct {
 type shardEvent struct {
 	ev            osn.Event
 	actor, target bool
+}
+
+// shardMsg is one channel hop to a shard: either a single event
+// (Observe, allocation-free) or a batch (ObserveBatch, one hop per
+// shard per wire batch).
+type shardMsg struct {
+	one   shardEvent
+	batch []shardEvent // nil means `one` is valid
 }
 
 // PipelineOption configures NewPipeline.
@@ -158,7 +166,7 @@ func NewPipeline(c Classifier, g *graph.Graph, opts ...PipelineOption) *Pipeline
 	for i := range p.shards {
 		s := &pshard{
 			p:       p,
-			in:      make(chan shardEvent, shardBuffer),
+			in:      make(chan shardMsg, shardBuffer),
 			tr:      features.NewTracker(p.g),
 			seen:    make(map[osn.AccountID]int),
 			flagged: make(map[osn.AccountID]bool),
@@ -171,15 +179,19 @@ func NewPipeline(c Classifier, g *graph.Graph, opts ...PipelineOption) *Pipeline
 	return p
 }
 
-// shardOf hash-partitions an account. Dense sequential IDs are mixed
+// shardIdx hash-partitions an account. Dense sequential IDs are mixed
 // (splitmix64 finalizer) so shard load stays balanced regardless of
 // how IDs were assigned.
-func (p *Pipeline) shardOf(id osn.AccountID) *pshard {
+func (p *Pipeline) shardIdx(id osn.AccountID) int {
 	x := uint64(uint32(id))
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	x ^= x >> 31
-	return p.shards[x%uint64(len(p.shards))]
+	return int(x % uint64(len(p.shards)))
+}
+
+func (p *Pipeline) shardOf(id osn.AccountID) *pshard {
+	return p.shards[p.shardIdx(id)]
 }
 
 // Observe is the dispatcher: it routes one event to the shard(s)
@@ -200,11 +212,45 @@ func (p *Pipeline) Observe(ev osn.Event) {
 	sa := p.shardOf(ev.Actor)
 	st := p.shardOf(ev.Target)
 	if sa == st {
-		sa.in <- shardEvent{ev: ev, actor: true, target: true}
+		sa.in <- shardMsg{one: shardEvent{ev: ev, actor: true, target: true}}
 		return
 	}
-	sa.in <- shardEvent{ev: ev, actor: true}
-	st.in <- shardEvent{ev: ev, target: true}
+	sa.in <- shardMsg{one: shardEvent{ev: ev, actor: true}}
+	st.in <- shardMsg{one: shardEvent{ev: ev, target: true}}
+}
+
+// ObserveBatch routes a whole batch of events — e.g. one wire batch
+// from the v2 feed (stream.Client.RecvBatch) or a chunk of a replayed
+// historical log — with at most one channel hop per shard instead of
+// one per event, amortizing dispatch cost. Per-shard event order is
+// the batch order, so feeding the same stream via Observe calls,
+// ObserveBatch calls, or any mix of the two flags the same set.
+// Safe for concurrent use under the same rules as Observe.
+func (p *Pipeline) ObserveBatch(evs []osn.Event) {
+	batches := make([][]shardEvent, len(p.shards))
+	for _, ev := range evs {
+		switch ev.Type {
+		case osn.EvFriendRequest, osn.EvFriendAccept:
+		default:
+			continue
+		}
+		if p.ownGraph {
+			p.extendGraph(ev)
+		}
+		ia := p.shardIdx(ev.Actor)
+		it := p.shardIdx(ev.Target)
+		if ia == it {
+			batches[ia] = append(batches[ia], shardEvent{ev: ev, actor: true, target: true})
+			continue
+		}
+		batches[ia] = append(batches[ia], shardEvent{ev: ev, actor: true})
+		batches[it] = append(batches[it], shardEvent{ev: ev, target: true})
+	}
+	for i, b := range batches {
+		if len(b) > 0 {
+			p.shards[i].in <- shardMsg{batch: b}
+		}
+	}
 }
 
 // extendGraph grows the owned graph to cover the event's accounts and
@@ -255,30 +301,40 @@ func (p *Pipeline) fillCC(v *features.Vector) {
 // evaluate the sender on its due friend requests.
 func (s *pshard) run() {
 	defer close(s.done)
-	for se := range s.in {
-		if se.actor {
-			s.tr.UpdateActor(se.ev)
-		}
-		if se.target {
-			s.tr.UpdateTarget(se.ev)
-		}
-		if !se.actor || se.ev.Type != osn.EvFriendRequest {
+	for msg := range s.in {
+		if msg.batch == nil {
+			s.handle(msg.one)
 			continue
 		}
-		id := se.ev.Actor
-		if s.flagged[id] {
-			continue
+		for _, se := range msg.batch {
+			s.handle(se)
 		}
-		s.seen[id]++
-		if s.seen[id]%s.p.checkEvery != 0 {
-			continue
-		}
-		v := s.tr.CountsOf(id)
-		s.p.fillCC(&v)
-		if s.p.c.Classify(v) {
-			s.flagged[id] = true
-			s.p.flags <- Flag{ID: id, At: se.ev.At, Vector: v}
-		}
+	}
+}
+
+func (s *pshard) handle(se shardEvent) {
+	if se.actor {
+		s.tr.UpdateActor(se.ev)
+	}
+	if se.target {
+		s.tr.UpdateTarget(se.ev)
+	}
+	if !se.actor || se.ev.Type != osn.EvFriendRequest {
+		return
+	}
+	id := se.ev.Actor
+	if s.flagged[id] {
+		return
+	}
+	s.seen[id]++
+	if s.seen[id]%s.p.checkEvery != 0 {
+		return
+	}
+	v := s.tr.CountsOf(id)
+	s.p.fillCC(&v)
+	if s.p.c.Classify(v) {
+		s.flagged[id] = true
+		s.p.flags <- Flag{ID: id, At: se.ev.At, Vector: v}
 	}
 }
 

@@ -300,3 +300,75 @@ func TestPipelineConcurrentStress(t *testing.T) {
 	}
 	p.Close() // idempotent
 }
+
+// TestObserveBatchMatchesObserve: chunked batch ingestion (any chunk
+// size, including a mix of batch and single-event dispatch) must flag
+// exactly the set that per-event Observe — and therefore the serial
+// Monitor — flags.
+func TestObserveBatchMatchesObserve(t *testing.T) {
+	pop := campaignLog(t, 47)
+	events := pop.Net.Events()
+	g := pop.Net.Graph()
+	rule := FitRule(features.Labelled(pop.Net, pop.Sybils, pop.Normals), PaperRule())
+
+	ref := NewPipeline(rule, g, WithShards(4))
+	for _, ev := range events {
+		ref.Observe(ev)
+	}
+	ref.Close()
+	want := sortedIDs(ref.FlaggedIDs())
+	if len(want) == 0 {
+		t.Fatal("reference pipeline flagged nothing; equivalence test is vacuous")
+	}
+
+	for _, chunk := range []int{1, 7, 256, len(events)} {
+		p := NewPipeline(rule, g, WithShards(4))
+		for i := 0; i < len(events); i += chunk {
+			end := i + chunk
+			if end > len(events) {
+				end = len(events)
+			}
+			if (i/chunk)%5 == 4 { // interleave single-event dispatch
+				for _, ev := range events[i:end] {
+					p.Observe(ev)
+				}
+			} else {
+				p.ObserveBatch(events[i:end])
+			}
+		}
+		p.Close()
+		got := sortedIDs(p.FlaggedIDs())
+		if len(got) != len(want) {
+			t.Fatalf("chunk=%d: batch path flagged %d, per-event %d", chunk, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("chunk=%d: flagged sets differ at %d: %d vs %d", chunk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestObserveBatchGraphReconstruction: the batch path must also grow
+// the owned graph correctly (same star-shaped, triangle-free stream as
+// TestPipelineGraphReconstruction).
+func TestObserveBatchGraphReconstruction(t *testing.T) {
+	net := osn.NewNetwork()
+	for i := 0; i < 300; i++ {
+		net.CreateAccount(osn.Male, osn.Normal, 0)
+	}
+	at := sim.Time(0)
+	for i := 1; i <= 40; i++ {
+		from := osn.AccountID(i)
+		to := osn.AccountID(100 + i)
+		at += sim.TicksPerHour
+		net.SendFriendRequest(from, to, at)
+		net.RespondFriendRequest(to, from, true, at+5)
+	}
+	p := NewPipeline(PaperRule(), nil, WithShards(3), WithGraphReconstruction())
+	p.ObserveBatch(net.Events())
+	p.Close()
+	if got, src := p.Graph().NumEdges(), net.Graph().NumEdges(); got != src {
+		t.Errorf("reconstructed %d edges, source has %d", got, src)
+	}
+}

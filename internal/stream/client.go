@@ -1,0 +1,313 @@
+package stream
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"sybilwild/internal/osn"
+)
+
+// ErrClosed is returned by Recv/RecvBatch when the server ends the
+// feed cleanly (eof frame). Any other receive error means the
+// connection was lost and the session can be resumed with DialResume.
+var ErrClosed = errors.New("stream: feed closed")
+
+// ErrGap means the server can no longer replay the requested resume
+// sequence — the session was evicted (overflow, stall, or linger
+// expiry) and at-least-once delivery cannot be preserved. The loss is
+// loud: consumers must rebuild state rather than continue silently.
+var ErrGap = errors.New("stream: resume window lost")
+
+// newSessionID returns a fresh random subscriber session id.
+func newSessionID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("stream: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Client subscribes to a Server's event feed. A Client is not safe
+// for concurrent use.
+type Client struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	session string
+
+	lastSeq uint64 // last sequence handed to the caller
+	acked   uint64 // last sequence acknowledged to the server
+
+	pending  []osn.Event // decoded events not yet handed out
+	firstSeq uint64      // sequence of pending[0]
+	evbuf    []osn.Event // reusable decode buffer backing pending
+	buf      []byte      // reusable frame buffer
+	eof      bool
+}
+
+// Dial connects to a stream server as a fresh subscriber: it receives
+// every event broadcast after the handshake.
+func Dial(addr string) (*Client, error) {
+	return dial(addr, newSessionID(), 0)
+}
+
+// DialResume reconnects an existing session, asking the feed to
+// continue from sequence from (normally LastSeq()+1, with session and
+// the sequence taken from the previous Client). It returns an error
+// wrapping ErrGap when the server no longer holds that part of the
+// stream.
+func DialResume(addr, session string, from uint64) (*Client, error) {
+	if from == 0 || session == "" {
+		return nil, errors.New("stream: DialResume needs a session and a sequence ≥ 1")
+	}
+	c, err := dial(addr, session, from)
+	if err != nil {
+		return nil, err
+	}
+	c.lastSeq = from - 1
+	c.acked = from - 1
+	return c, nil
+}
+
+func dial(addr, session string, resume uint64) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("stream: dial: %w", err)
+	}
+	c := &Client{
+		conn:    conn,
+		br:      bufio.NewReaderSize(conn, 64<<10),
+		bw:      bufio.NewWriterSize(conn, 4<<10),
+		session: session,
+	}
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	hello := frame{T: frameHello, V: ProtocolVersion, Session: session, Resume: resume}
+	if err := writeControl(c.bw, hello); err == nil {
+		err = c.bw.Flush()
+	}
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("stream: handshake: %w", err)
+	}
+	payload, err := readFrame(c.br, nil)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("stream: handshake: %w", err)
+	}
+	var welcome frame
+	if err := json.Unmarshal(payload, &welcome); err != nil || welcome.T != frameWelcome {
+		conn.Close()
+		return nil, fmt.Errorf("stream: handshake: expected welcome, got %q", payload)
+	}
+	if welcome.Err != "" {
+		conn.Close()
+		if resume > 0 {
+			return nil, fmt.Errorf("%w: %s", ErrGap, welcome.Err)
+		}
+		return nil, fmt.Errorf("stream: subscription rejected: %s", welcome.Err)
+	}
+	conn.SetDeadline(time.Time{})
+	if welcome.From > 0 {
+		// Anchor the cursor: the feed starts at the server's global
+		// sequence, not at 1.
+		c.lastSeq = welcome.From - 1
+		c.acked = c.lastSeq
+	}
+	c.buf = payload
+	return c, nil
+}
+
+// Session returns the subscriber's session id, needed to resume.
+func (c *Client) Session() string { return c.session }
+
+// LastSeq returns the sequence number of the last event handed to the
+// caller; resume from LastSeq()+1.
+func (c *Client) LastSeq() uint64 { return c.lastSeq }
+
+// flushAcks acknowledges everything delivered so far. It runs
+// whenever the client is about to block for more data and on Close,
+// which bounds the unacknowledged backlog by one wire batch. Write
+// errors are ignored: a dead connection surfaces on the next read.
+func (c *Client) flushAcks() {
+	if c.lastSeq > c.acked {
+		if writeControl(c.bw, frame{T: frameAck, Ack: c.lastSeq}) == nil {
+			c.bw.Flush()
+		}
+		c.acked = c.lastSeq
+	}
+}
+
+// fill blocks for the next non-empty batch, deduplicating any events
+// the client already delivered (a resumed server may resend its
+// in-flight window).
+func (c *Client) fill() error {
+	if c.eof {
+		return ErrClosed
+	}
+	c.flushAcks() // the server trims its window while we wait
+	for {
+		payload, err := readFrame(c.br, c.buf)
+		if err != nil {
+			return fmt.Errorf("stream: read: %w", err)
+		}
+		c.buf = payload
+		seq, evs, ok := parseBatchFrame(payload, c.evbuf[:0])
+		if !ok {
+			// Control frame, or a batch from a non-canonical encoder.
+			var f frame
+			if err := json.Unmarshal(payload, &f); err != nil {
+				return fmt.Errorf("stream: bad frame: %w", err)
+			}
+			switch f.T {
+			case frameEOF:
+				c.eof = true
+				return ErrClosed
+			case frameBatch:
+				seq, evs, err = parseBatchSlow(payload, c.evbuf[:0])
+				if err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("stream: unexpected %q frame mid-stream", f.T)
+			}
+		}
+		c.evbuf = evs[:0]
+		if len(evs) == 0 {
+			continue
+		}
+		last := seq + uint64(len(evs)) - 1
+		if last <= c.lastSeq {
+			continue // whole batch already delivered
+		}
+		if seq <= c.lastSeq {
+			evs = evs[c.lastSeq+1-seq:]
+			seq = c.lastSeq + 1
+		}
+		if seq != c.lastSeq+1 {
+			return fmt.Errorf("stream: sequence gap: expected %d, got batch at %d", c.lastSeq+1, seq)
+		}
+		c.pending = evs
+		c.firstSeq = seq
+		return nil
+	}
+}
+
+// Recv blocks for the next event. It returns ErrClosed on clean end
+// of feed; any other error means the connection died and the session
+// may be resumed.
+func (c *Client) Recv() (osn.Event, error) {
+	if len(c.pending) == 0 {
+		if err := c.fill(); err != nil {
+			return osn.Event{}, err
+		}
+	}
+	ev := c.pending[0]
+	c.pending = c.pending[1:]
+	c.lastSeq = c.firstSeq
+	c.firstSeq++
+	return ev, nil
+}
+
+// RecvBatch blocks for the next batch of events, handing over whole
+// wire batches so consumers can amortize their own per-event costs
+// (e.g. detector.Pipeline.ObserveBatch). The returned slice is only
+// valid until the next Recv or RecvBatch call.
+func (c *Client) RecvBatch() ([]osn.Event, error) {
+	if len(c.pending) == 0 {
+		if err := c.fill(); err != nil {
+			return nil, err
+		}
+	}
+	evs := c.pending
+	c.pending = nil
+	c.lastSeq = c.firstSeq + uint64(len(evs)) - 1
+	return evs, nil
+}
+
+// Close acknowledges everything delivered and disconnects. The
+// session remains resumable on the server until its linger expires.
+func (c *Client) Close() error {
+	c.flushAcks()
+	return c.conn.Close()
+}
+
+// Subscribe dials addr and delivers events to fn until the server
+// ends the feed, transparently resuming the session (exponential
+// backoff, up to maxRetries consecutive failures) when the connection
+// drops mid-stream. Sequence numbers make the combined stream
+// exactly-once: fn sees every event delivered after the first
+// handshake, with no gaps and no duplicates. It returns nil on clean
+// end of feed, an error wrapping ErrGap if the server evicted the
+// session (events were irrecoverably lost), or the last dial error.
+func Subscribe(addr string, fn func(osn.Event), maxRetries int) error {
+	return subscribe(addr, maxRetries, func(c *Client) error {
+		for {
+			ev, err := c.Recv()
+			if err != nil {
+				return err
+			}
+			fn(ev)
+		}
+	})
+}
+
+// SubscribeBatch is Subscribe at batch granularity: fn receives whole
+// wire batches (valid only during the call), preserving order. Same
+// delivery guarantees and return conventions as Subscribe.
+func SubscribeBatch(addr string, fn func([]osn.Event), maxRetries int) error {
+	return subscribe(addr, maxRetries, func(c *Client) error {
+		for {
+			evs, err := c.RecvBatch()
+			if err != nil {
+				return err
+			}
+			fn(evs)
+		}
+	})
+}
+
+func subscribe(addr string, maxRetries int, drain func(*Client) error) error {
+	backoff := 50 * time.Millisecond
+	retries := 0
+	session := ""
+	var last uint64
+	for {
+		var c *Client
+		var err error
+		if session == "" {
+			c, err = Dial(addr)
+		} else {
+			c, err = DialResume(addr, session, last+1)
+		}
+		if err != nil {
+			if errors.Is(err, ErrGap) {
+				return err
+			}
+			retries++
+			if retries > maxRetries {
+				return err
+			}
+			time.Sleep(backoff)
+			if backoff < 2*time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		retries = 0
+		backoff = 50 * time.Millisecond
+		session = c.Session()
+		err = drain(c)
+		last = c.LastSeq()
+		c.Close()
+		if errors.Is(err, ErrClosed) {
+			return nil // clean end of feed
+		}
+		// Connection lost mid-stream: resume from the next sequence.
+	}
+}

@@ -1,98 +1,198 @@
-// Package stream carries OSN events over TCP as newline-delimited
-// JSON, mirroring how the paper's detector consumed Renren's
-// operational log feed in production. A Server fans events out to any
-// number of subscribers with per-client buffering (slow consumers drop
-// oldest events rather than stalling the simulation); a Client
-// receives events and hands them to a callback, reconnecting with
-// backoff if the feed drops.
+// Package stream carries OSN events over TCP, mirroring how the
+// paper's detector consumed Renren's operational log feed in
+// production. Version 2 of the protocol is lossless: events carry
+// global sequence numbers and travel in length-prefixed batches, each
+// subscriber holds a bounded replay window on the server that is
+// trimmed by client acknowledgements, and a subscriber that falls
+// behind applies backpressure to the producer instead of losing its
+// oldest events. A briefly-disconnected subscriber redials with its
+// last delivered sequence and the server replays the gap, so delivery
+// is at least once end to end (and exactly once through Subscribe,
+// which deduplicates on sequence numbers).
+//
+// The wire protocol — framing, the handshake, sequence/ack semantics
+// and the resume rules — is specified in docs/ARCHITECTURE.md.
 package stream
 
 import (
 	"bufio"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sybilwild/internal/osn"
-	"sybilwild/internal/sim"
 )
 
-// WireEvent is the JSON wire form of an osn.Event.
-type WireEvent struct {
-	Type   string `json:"type"`
-	At     int64  `json:"at"`
-	Actor  int32  `json:"actor"`
-	Target int32  `json:"target"`
-	Aux    int32  `json:"aux,omitempty"`
+// Server tunables. Each has a ServerOption override; the defaults suit
+// production-shaped feeds, tests shrink them to force the edge cases.
+const (
+	// DefaultReplayBuffer is the per-subscriber replay window: events
+	// broadcast but not yet acknowledged. A subscriber holding the
+	// producer back for more than the window applies backpressure.
+	DefaultReplayBuffer = 16384
+	// DefaultMaxBatch caps events per batch frame.
+	DefaultMaxBatch = 256
+	// DefaultFlushEvery bounds how long a coalescing writer sits on
+	// buffered bytes under sustained load.
+	DefaultFlushEvery = 2 * time.Millisecond
+	// DefaultSessionLinger is how long a disconnected session's replay
+	// window is kept for resume before it is evicted.
+	DefaultSessionLinger = 30 * time.Second
+	// DefaultStallTimeout is how long Broadcast blocks on one full
+	// connected subscriber before evicting it (liveness backstop: a
+	// dead-but-connected client cannot wedge the feed forever).
+	DefaultStallTimeout = 30 * time.Second
+	// DefaultDrainTimeout bounds Close: per-connection deadline for
+	// flushing the remaining window and the eof frame.
+	DefaultDrainTimeout = 5 * time.Second
+
+	handshakeTimeout = 10 * time.Second
+)
+
+type serverOptions struct {
+	replay     int
+	maxBatch   int
+	flushEvery time.Duration
+	linger     time.Duration
+	stall      time.Duration
+	drain      time.Duration
 }
 
-// FromOSN converts an event to wire form.
-func FromOSN(ev osn.Event) WireEvent {
-	return WireEvent{
-		Type:   ev.Type.String(),
-		At:     ev.At,
-		Actor:  int32(ev.Actor),
-		Target: int32(ev.Target),
-		Aux:    ev.Aux,
+// ServerOption configures NewServer.
+type ServerOption func(*serverOptions)
+
+// WithReplayBuffer sets the per-subscriber replay window in events.
+func WithReplayBuffer(n int) ServerOption {
+	return func(o *serverOptions) {
+		if n > 0 {
+			o.replay = n
+		}
 	}
 }
 
-// ToOSN converts back from wire form.
-func (w WireEvent) ToOSN() (osn.Event, error) {
-	var typ osn.EventType
-	switch w.Type {
-	case "friend_request":
-		typ = osn.EvFriendRequest
-	case "friend_accept":
-		typ = osn.EvFriendAccept
-	case "friend_reject":
-		typ = osn.EvFriendReject
-	case "message":
-		typ = osn.EvMessage
-	case "ban":
-		typ = osn.EvBan
-	case "blog_post":
-		typ = osn.EvBlogPost
-	case "blog_share":
-		typ = osn.EvBlogShare
-	default:
-		return osn.Event{}, fmt.Errorf("stream: unknown event type %q", w.Type)
+// WithMaxBatch sets the maximum events per batch frame.
+func WithMaxBatch(n int) ServerOption {
+	return func(o *serverOptions) {
+		if n > 0 {
+			o.maxBatch = n
+		}
 	}
-	return osn.Event{
-		Type:   typ,
-		At:     sim.Time(w.At),
-		Actor:  osn.AccountID(w.Actor),
-		Target: osn.AccountID(w.Target),
-		Aux:    w.Aux,
-	}, nil
 }
 
-// ClientBuffer is the per-subscriber event buffer size; when a
-// subscriber falls this far behind, its oldest events are dropped.
-const ClientBuffer = 4096
+// WithFlushEvery sets the coalescing writers' flush latency bound.
+func WithFlushEvery(d time.Duration) ServerOption {
+	return func(o *serverOptions) {
+		if d > 0 {
+			o.flushEvery = d
+		}
+	}
+}
 
-// Server broadcasts events to TCP subscribers.
+// WithSessionLinger sets how long a disconnected session may await
+// resume before eviction.
+func WithSessionLinger(d time.Duration) ServerOption {
+	return func(o *serverOptions) {
+		if d > 0 {
+			o.linger = d
+		}
+	}
+}
+
+// WithStallTimeout sets how long Broadcast waits on one full connected
+// subscriber before evicting it.
+func WithStallTimeout(d time.Duration) ServerOption {
+	return func(o *serverOptions) {
+		if d > 0 {
+			o.stall = d
+		}
+	}
+}
+
+// WithDrainTimeout sets the per-connection flush deadline Close
+// applies.
+func WithDrainTimeout(d time.Duration) ServerOption {
+	return func(o *serverOptions) {
+		if d > 0 {
+			o.drain = d
+		}
+	}
+}
+
+// Server broadcasts events to TCP subscribers with at-least-once
+// delivery. Broadcast and Close must not overlap; Broadcast itself is
+// safe for concurrent use.
 type Server struct {
-	ln net.Listener
+	ln  net.Listener
+	opt serverOptions
 
-	mu      sync.Mutex
-	clients map[net.Conn]chan []byte
-	dropped uint64
-	closed  bool
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	sessions map[string]*session
+	seq      uint64 // last sequence number assigned
+	closing  bool
+
+	delivered atomic.Uint64
+	evicted   atomic.Uint64
+
+	wg sync.WaitGroup
+}
+
+// session is one subscriber's server-side state: a bounded ring of
+// events awaiting acknowledgement, cursors into it, and the (possibly
+// nil, while disconnected) current connection.
+type session struct {
+	id  string
+	srv *Server
+
+	mu   sync.Mutex
+	cond *sync.Cond  // writer wake: pending events, close, or conn change
+	ring []osn.Event // circular; holds seqs (acked, acked+n]
+	head int         // ring index of seq acked+1
+	n    int
+	// Cursors: acked ≤ sent ≤ acked+n. Entries at or below acked are
+	// trimmed; (acked, sent] are in flight; (sent, acked+n] await the
+	// writer.
+	acked uint64
+	sent  uint64
+
+	conn       net.Conn // nil while detached
+	gen        int      // connection generation; stale writers exit on mismatch
+	detachedAt time.Time
+	closing    bool
+	gone       bool // evicted: removed from srv.sessions
+
+	space chan struct{} // capacity 1; producer wake after ack trim or detach
+}
+
+// ServerStats is a snapshot of feed accounting.
+type ServerStats struct {
+	Broadcast uint64 // events broadcast (highest sequence assigned)
+	Delivered uint64 // events acknowledged by subscribers, summed
+	Sessions  int    // sessions held (connected or lingering for resume)
+	Evicted   uint64 // sessions evicted with undelivered events — the only loss path
 }
 
 // NewServer listens on addr (e.g. "127.0.0.1:0") and starts accepting
 // subscribers.
-func NewServer(addr string) (*Server, error) {
+func NewServer(addr string, opts ...ServerOption) (*Server, error) {
+	o := serverOptions{
+		replay:     DefaultReplayBuffer,
+		maxBatch:   DefaultMaxBatch,
+		flushEvery: DefaultFlushEvery,
+		linger:     DefaultSessionLinger,
+		stall:      DefaultStallTimeout,
+		drain:      DefaultDrainTimeout,
+	}
+	for _, fn := range opts {
+		fn(&o)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("stream: listen: %w", err)
 	}
-	s := &Server{ln: ln, clients: make(map[net.Conn]chan []byte)}
+	s := &Server{ln: ln, opt: o, sessions: make(map[string]*session)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -108,179 +208,393 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		ch := make(chan []byte, ClientBuffer)
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return
-		}
-		s.clients[conn] = ch
-		s.mu.Unlock()
 		s.wg.Add(1)
-		go s.writeLoop(conn, ch)
+		go s.serveConn(conn)
 	}
 }
 
-func (s *Server) writeLoop(conn net.Conn, ch chan []byte) {
-	defer s.wg.Done()
-	defer func() {
-		s.mu.Lock()
-		delete(s.clients, conn)
-		s.mu.Unlock()
-		conn.Close()
-	}()
-	w := bufio.NewWriter(conn)
-	for line := range ch {
-		if line == nil {
-			return // close sentinel
-		}
-		if _, err := w.Write(line); err != nil {
-			return
-		}
-		// Flush when the buffer has drained so bursts batch but the
-		// tail is never delayed.
-		if len(ch) == 0 {
-			if err := w.Flush(); err != nil {
-				return
-			}
-		}
-	}
-}
-
-// Broadcast sends an event to all connected subscribers. It never
-// blocks: a subscriber whose buffer is full loses its oldest queued
-// event (counted in Dropped).
+// Broadcast assigns the event the next sequence number and appends it
+// to every session's replay window. It blocks — up to the stall
+// timeout per subscriber — when a connected subscriber's window is
+// full, so a slow consumer slows the feed down instead of losing
+// events. Safe for concurrent use; must not overlap Close.
 func (s *Server) Broadcast(ev osn.Event) {
-	line, err := json.Marshal(FromOSN(ev))
-	if err != nil {
-		return // unreachable for this type; keep Broadcast infallible
-	}
-	line = append(line, '\n')
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, ch := range s.clients {
-		for {
-			select {
-			case ch <- line:
-			default:
-				// Full: drop the oldest and retry.
-				select {
-				case <-ch:
-					s.dropped++
-				default:
-				}
-				continue
-			}
+	s.seq++
+	for _, sess := range s.sessions {
+		sess.append(ev) // may evict, deleting from s.sessions (safe during range)
+	}
+}
+
+// append adds ev to the session's window, blocking while a connected
+// subscriber's window is full. Caller holds srv.mu (evictions mutate
+// the session table). Returns false if the session was evicted.
+func (sess *session) append(ev osn.Event) bool {
+	sess.mu.Lock()
+	for {
+		if sess.gone || sess.closing {
+			alive := !sess.gone
+			sess.mu.Unlock()
+			return alive
+		}
+		if sess.conn == nil && (sess.n == len(sess.ring) ||
+			time.Since(sess.detachedAt) > sess.srv.opt.linger) {
+			// Nobody to wait for: the window overflowed while detached,
+			// or the resume window expired.
+			sess.evictLocked()
+			sess.mu.Unlock()
+			return false
+		}
+		if sess.n < len(sess.ring) {
 			break
 		}
+		// Connected and full: backpressure, bounded by the stall
+		// timeout.
+		sess.mu.Unlock()
+		timer := time.NewTimer(sess.srv.opt.stall)
+		select {
+		case <-sess.space:
+			timer.Stop()
+			sess.mu.Lock()
+		case <-timer.C:
+			sess.mu.Lock()
+			if sess.n == len(sess.ring) && sess.conn != nil && !sess.gone && !sess.closing {
+				sess.evictLocked()
+				sess.mu.Unlock()
+				return false
+			}
+		}
+	}
+	sess.ring[(sess.head+sess.n)%len(sess.ring)] = ev
+	sess.n++
+	sess.cond.Signal()
+	sess.mu.Unlock()
+	return true
+}
+
+// evictLocked removes the session permanently. Both srv.mu and sess.mu
+// must be held. Loss is only counted when undelivered events die with
+// the session.
+func (sess *session) evictLocked() {
+	if sess.gone {
+		return
+	}
+	sess.gone = true
+	delete(sess.srv.sessions, sess.id)
+	if sess.n > 0 {
+		sess.srv.evicted.Add(1)
+	}
+	if sess.conn != nil {
+		sess.conn.Close()
+		sess.conn = nil
+	}
+	sess.gen++
+	sess.cond.Broadcast()
+}
+
+// ackTo processes a client acknowledgement: trim the window through
+// seq and wake a producer blocked on the window.
+func (sess *session) ackTo(seq uint64) {
+	sess.mu.Lock()
+	if seq > sess.sent {
+		seq = sess.sent // cannot ack what was never sent
+	}
+	if seq > sess.acked {
+		delta := int(seq - sess.acked)
+		sess.head = (sess.head + delta) % len(sess.ring)
+		sess.n -= delta
+		sess.acked = seq
+		sess.srv.delivered.Add(uint64(delta))
+		select {
+		case sess.space <- struct{}{}:
+		default:
+		}
+	}
+	sess.mu.Unlock()
+}
+
+// attachLocked binds conn as the session's current connection, kicking
+// any previous one. sess.mu must be held. Returns the new generation.
+func (sess *session) attachLocked(conn net.Conn) int {
+	if sess.conn != nil {
+		sess.conn.Close()
+	}
+	sess.gen++
+	sess.conn = conn
+	sess.cond.Broadcast() // stop a stale writer
+	select {
+	case sess.space <- struct{}{}: // producer may re-evaluate: connected again
+	default:
+	}
+	return sess.gen
+}
+
+// detach drops the session's connection (keeping the window for
+// resume) if gen is still the current generation.
+func (s *Server) detach(sess *session, gen int) {
+	sess.mu.Lock()
+	if sess.gen == gen && !sess.gone {
+		sess.gen++
+		if sess.conn != nil {
+			sess.conn.Close()
+			sess.conn = nil
+		}
+		sess.detachedAt = time.Now()
+		sess.cond.Broadcast()
+		select {
+		case sess.space <- struct{}{}: // producer must stop waiting on acks
+		default:
+		}
+	}
+	sess.mu.Unlock()
+}
+
+// serveConn performs the handshake, then runs the connection's ack
+// reader; the batch writer runs in its own goroutine.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	br := bufio.NewReaderSize(conn, 32<<10)
+	payload, err := readFrame(br, nil)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	var hello frame
+	if err := json.Unmarshal(payload, &hello); err != nil ||
+		hello.T != frameHello || hello.Session == "" {
+		writeControl(conn, frame{T: frameWelcome, V: ProtocolVersion, Err: "malformed hello"})
+		conn.Close()
+		return
+	}
+	if hello.V != ProtocolVersion {
+		writeControl(conn, frame{T: frameWelcome, V: ProtocolVersion,
+			Err: fmt.Sprintf("unsupported protocol version %d", hello.V)})
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	sess, gen, from, reject := s.admit(hello, conn)
+	if reject != "" {
+		writeControl(conn, frame{T: frameWelcome, V: ProtocolVersion, Err: reject})
+		conn.Close()
+		return
+	}
+	if err := writeControl(conn, frame{T: frameWelcome, V: ProtocolVersion, From: from}); err != nil {
+		s.detach(sess, gen)
+		return
+	}
+	s.wg.Add(1)
+	go s.writer(sess, conn, gen)
+
+	// Ack reader: this goroutine owns conn teardown via detach.
+	for {
+		payload, err := readFrame(br, payload)
+		if err != nil {
+			s.detach(sess, gen)
+			return
+		}
+		var f frame
+		if json.Unmarshal(payload, &f) == nil && f.T == frameAck {
+			sess.ackTo(f.Ack)
+		}
 	}
 }
 
-// Dropped returns the number of events dropped across all subscribers.
-func (s *Server) Dropped() uint64 {
+// admit registers or resumes the session named in hello and attaches
+// conn to it. It returns the session, the connection generation and
+// the first sequence the writer will send, or a rejection reason.
+func (s *Server) admit(hello frame, conn net.Conn) (sess *session, gen int, from uint64, reject string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.dropped
+	if s.closing {
+		return nil, 0, 0, "server closing"
+	}
+	sess = s.sessions[hello.Session]
+	if hello.Resume == 0 {
+		// Fresh subscription from the next broadcast on. Reusing a live
+		// session id replaces (evicts) the old session.
+		if sess != nil {
+			sess.mu.Lock()
+			sess.evictLocked()
+			sess.mu.Unlock()
+		}
+		sess = &session{
+			id:    hello.Session,
+			srv:   s,
+			ring:  make([]osn.Event, s.opt.replay),
+			acked: s.seq,
+			sent:  s.seq,
+			space: make(chan struct{}, 1),
+		}
+		sess.cond = sync.NewCond(&sess.mu)
+		s.sessions[hello.Session] = sess
+		sess.mu.Lock()
+		gen = sess.attachLocked(conn)
+		sess.mu.Unlock()
+		return sess, gen, s.seq + 1, ""
+	}
+	if sess == nil {
+		return nil, 0, 0, "unknown session (resume window expired)"
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	switch r := hello.Resume; {
+	case r <= sess.acked:
+		return nil, 0, 0, "resume sequence already trimmed"
+	case r > sess.acked+uint64(sess.n)+1:
+		return nil, 0, 0, "resume sequence ahead of feed"
+	default:
+		// Resuming from r implicitly acknowledges everything before it.
+		if delta := int(r - 1 - sess.acked); delta > 0 {
+			sess.head = (sess.head + delta) % len(sess.ring)
+			sess.n -= delta
+			sess.acked = r - 1
+			s.delivered.Add(uint64(delta))
+			select {
+			case sess.space <- struct{}{}:
+			default:
+			}
+		}
+		sess.sent = r - 1 // rewind: resend anything in flight when the conn died
+		gen = sess.attachLocked(conn)
+		return sess, gen, r, ""
+	}
 }
 
-// NumClients returns the current subscriber count.
+// writer drains the session's window onto one connection in coalesced
+// batch frames: up to maxBatch events per frame, flushed when the
+// window is momentarily empty or the flush interval elapses. At server
+// close it finishes the window, sends the eof frame and arms a read
+// deadline so the ack reader also terminates.
+func (s *Server) writer(sess *session, conn net.Conn, gen int) {
+	defer s.wg.Done()
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	scratch := make([]osn.Event, 0, s.opt.maxBatch)
+	var payload []byte
+	lastFlush := time.Now()
+	for {
+		sess.mu.Lock()
+		for sess.gen == gen && !sess.closing && sess.sent == sess.acked+uint64(sess.n) {
+			sess.cond.Wait()
+		}
+		if sess.gen != gen {
+			sess.mu.Unlock()
+			return
+		}
+		pending := int(sess.acked + uint64(sess.n) - sess.sent)
+		if pending == 0 { // implies closing: window drained, say goodbye
+			sess.mu.Unlock()
+			writeControl(bw, frame{T: frameEOF})
+			bw.Flush()
+			conn.SetReadDeadline(time.Now().Add(s.opt.drain))
+			return
+		}
+		nb := pending
+		if nb > s.opt.maxBatch {
+			nb = s.opt.maxBatch
+		}
+		first := sess.sent + 1
+		off := int(sess.sent - sess.acked)
+		scratch = scratch[:0]
+		for k := 0; k < nb; k++ {
+			scratch = append(scratch, sess.ring[(sess.head+off+k)%len(sess.ring)])
+		}
+		sess.sent += uint64(nb)
+		drained := sess.sent == sess.acked+uint64(sess.n)
+		sess.mu.Unlock()
+
+		payload = appendBatchFrame(payload[:0], first, scratch)
+		if err := writeFrame(bw, payload); err != nil {
+			s.detach(sess, gen)
+			return
+		}
+		if drained || time.Since(lastFlush) >= s.opt.flushEvery {
+			if err := bw.Flush(); err != nil {
+				s.detach(sess, gen)
+				return
+			}
+			lastFlush = time.Now()
+		}
+	}
+}
+
+// Stats returns a snapshot of feed accounting.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	n := len(s.sessions)
+	seq := s.seq
+	s.mu.Unlock()
+	return ServerStats{
+		Broadcast: seq,
+		Delivered: s.delivered.Load(),
+		Sessions:  n,
+		Evicted:   s.evicted.Load(),
+	}
+}
+
+// NumClients returns the number of currently connected subscribers
+// (lingering disconnected sessions not included).
 func (s *Server) NumClients() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.clients)
+	n := 0
+	for _, sess := range s.sessions {
+		sess.mu.Lock()
+		if sess.conn != nil {
+			n++
+		}
+		sess.mu.Unlock()
+	}
+	return n
 }
 
-// Close stops accepting, disconnects all subscribers and waits for
-// writer goroutines to finish.
+// Close stops accepting, drains every connected subscriber's remaining
+// window (bounded by the drain timeout), sends each an eof frame, and
+// waits for all connection goroutines to finish. All Broadcast calls
+// must have returned.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	if s.closed {
+	if s.closing {
 		s.mu.Unlock()
+		s.wg.Wait()
 		return nil
 	}
-	s.closed = true
+	s.closing = true
 	err := s.ln.Close()
-	for conn, ch := range s.clients {
-		close(ch)
-		conn.Close()
-		delete(s.clients, conn)
+	for id, sess := range s.sessions {
+		sess.mu.Lock()
+		sess.closing = true
+		if sess.conn != nil {
+			sess.conn.SetWriteDeadline(time.Now().Add(s.opt.drain))
+			sess.cond.Broadcast() // writer: drain, eof, exit
+		} else {
+			// Nothing to drain to; the window dies with the server.
+			sess.gone = true
+			if sess.n > 0 {
+				s.evicted.Add(1)
+			}
+			delete(s.sessions, id)
+		}
+		sess.mu.Unlock()
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.mu.Lock()
+	for id, sess := range s.sessions {
+		// Anything still buffered here died undelivered (e.g. the
+		// drain deadline cut off a stalled subscriber): that is loss,
+		// and loss is always counted.
+		sess.mu.Lock()
+		if sess.n > 0 {
+			s.evicted.Add(1)
+		}
+		sess.gone = true
+		sess.mu.Unlock()
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
 	return err
-}
-
-// ErrClosed is returned by Client.Recv after Close.
-var ErrClosed = errors.New("stream: client closed")
-
-// Client subscribes to a Server's event feed.
-type Client struct {
-	conn net.Conn
-	sc   *bufio.Scanner
-}
-
-// Dial connects to a stream server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("stream: dial: %w", err)
-	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	return &Client{conn: conn, sc: sc}, nil
-}
-
-// Recv blocks for the next event. It returns an error when the
-// connection ends or a frame fails to parse.
-func (c *Client) Recv() (osn.Event, error) {
-	if !c.sc.Scan() {
-		if err := c.sc.Err(); err != nil {
-			return osn.Event{}, fmt.Errorf("stream: read: %w", err)
-		}
-		return osn.Event{}, ErrClosed
-	}
-	var w WireEvent
-	if err := json.Unmarshal(c.sc.Bytes(), &w); err != nil {
-		return osn.Event{}, fmt.Errorf("stream: bad frame: %w", err)
-	}
-	return w.ToOSN()
-}
-
-// Close disconnects the client.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// Subscribe dials addr and delivers events to fn until the connection
-// ends, reconnecting with exponential backoff up to maxRetries
-// consecutive failures. It returns the first permanent error.
-func Subscribe(addr string, fn func(osn.Event), maxRetries int) error {
-	backoff := 50 * time.Millisecond
-	retries := 0
-	for {
-		c, err := Dial(addr)
-		if err != nil {
-			retries++
-			if retries > maxRetries {
-				return err
-			}
-			time.Sleep(backoff)
-			if backoff < 2*time.Second {
-				backoff *= 2
-			}
-			continue
-		}
-		retries = 0
-		backoff = 50 * time.Millisecond
-		for {
-			ev, err := c.Recv()
-			if err != nil {
-				c.Close()
-				if errors.Is(err, ErrClosed) {
-					return nil // clean end of feed
-				}
-				break // reconnect
-			}
-			fn(ev)
-		}
-	}
 }
