@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet docs ci
+# Output file for bench-json; bump the number each PR that refreshes
+# the committed perf baseline.
+BENCH_OUT ?= BENCH_3.json
+
+.PHONY: all build test race bench bench-json fmt vet docs ci
 
 all: build
 
@@ -20,6 +24,15 @@ race:
 # the reproduced paper metrics, stays inside a CI budget.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Same pass, but emitted as machine-readable JSON so the perf
+# trajectory is trackable PR over PR. Runs as a non-blocking CI step
+# (perf numbers from shared runners inform, they don't gate), so it is
+# deliberately NOT part of `make ci`.
+bench-json:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > $(BENCH_OUT).tmp
+	$(GO) run ./cmd/benchjson < $(BENCH_OUT).tmp > $(BENCH_OUT)
+	@rm -f $(BENCH_OUT).tmp
 
 fmt:
 	@out=$$(gofmt -l .); \

@@ -1,0 +1,77 @@
+// Command benchjson converts `go test -bench` text output on stdin
+// into a JSON array on stdout, one object per benchmark result with
+// every reported metric (ns/op, custom b.ReportMetric units, …) keyed
+// by unit. CI runs it via `make bench-json` to track the performance
+// trajectory as a machine-readable artifact:
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./... | benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line. Metrics maps unit → value; JSON
+// object keys come out sorted, so output is deterministic for a given
+// bench run.
+type result struct {
+	Package    string             `json:"package,omitempty"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	out := []result{}
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		// Shape: Name iterations (value unit)+ — anything else (e.g. a
+		// stray test log line starting with "Benchmark") is skipped.
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := result{Package: pkg, Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}

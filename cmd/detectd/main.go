@@ -9,26 +9,62 @@
 // owning its slice of feature state, so classification keeps up with
 // production-scale feeds. Ingestion rides the v2 feed protocol at
 // batch granularity: each wire batch enters the pipeline through
-// ObserveBatch (one channel hop per shard), and the subscription
-// resumes from the last delivered sequence if the connection drops,
-// so a network blip costs no events (see docs/ARCHITECTURE.md for the
+// ObserveBatchSeq (one channel hop per shard), and the subscription
+// resumes from the last applied sequence if the connection drops, so
+// a network blip costs no events (see docs/ARCHITECTURE.md for the
 // delivery contract).
+//
+// With -checkpoint-dir the daemon is durable: every -checkpoint-every
+// it runs a consistent Pipeline.Snapshot, writes it as an atomic
+// versioned checkpoint file, and only then acknowledges the feed
+// through the checkpointed sequence — so the server retains exactly
+// the events a crash would need replayed. On start the newest
+// checkpoint is restored and the stream resumed from the sequence it
+// covers, making even kill -9 recovery exactly-once: the flag set
+// matches an uninterrupted run. SIGINT/SIGTERM write a final
+// checkpoint and close the pipeline cleanly.
 //
 // Usage:
 //
-//	detectd -addr 127.0.0.1:7474 -shards 8
+//	detectd -addr 127.0.0.1:7474 -shards 8 \
+//	        -checkpoint-dir /var/lib/detectd -checkpoint-every 10s
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
 
+	"sybilwild/internal/checkpoint"
 	"sybilwild/internal/detector"
 	"sybilwild/internal/osn"
 	"sybilwild/internal/stream"
 )
+
+// daemon is the mutable run state shared between the ingest loop and
+// the signal handler.
+type daemon struct {
+	store *checkpoint.Store // nil: checkpointing disabled
+	p     *detector.Pipeline
+
+	session string // stream session id ("" until first dial)
+	resume  uint64 // sequence to resume from (0: fresh subscription)
+	written uint64 // sequence covered by the newest durable checkpoint
+
+	mu      sync.Mutex
+	current *stream.Client // connection to kick on shutdown
+	stop    atomic.Bool
+
+	events, batches, checkpoints int
+}
 
 func main() {
 	log.SetFlags(0)
@@ -42,8 +78,18 @@ func main() {
 		retries    = flag.Int("retries", 10, "max consecutive reconnect attempts")
 		checkEvery = flag.Int("check-every", 5, "evaluate an account every Nth request it sends")
 		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "detection pipeline shards")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for pipeline checkpoints (empty: stateless)")
+		ckptEvery  = flag.Duration("checkpoint-every", 10*time.Second, "interval between checkpoints")
+		ckptKeep   = flag.Int("checkpoint-keep", checkpoint.DefaultKeep, "checkpoint generations to retain")
+		ckptMaxLag = flag.Int("checkpoint-max-lag", stream.DefaultReplayBuffer/2,
+			"checkpoint early once this many events are applied past the last checkpoint; must stay below the feed's replay window")
 	)
 	flag.Parse()
+	if *ckptDir != "" && *ckptMaxLag <= 0 {
+		// The lag trigger is liveness-critical (acks only move at
+		// checkpoints); a non-positive value would silently disable it.
+		log.Fatal("-checkpoint-max-lag must be positive")
+	}
 
 	rule := detector.Rule{
 		OutAcceptMax: *outAccept,
@@ -51,30 +97,249 @@ func main() {
 		CCMax:        *ccMax,
 		MinObserved:  *minObs,
 	}
-	fmt.Printf("rule: %v\nsubscribing to %s (%d shards)\n", rule, *addr, *shards)
-
-	// The pipeline rebuilds the friendship graph from the feed (an
-	// accept event is an edge creation) and fans events out to the
-	// shard owning each account.
-	p := detector.NewPipeline(rule, nil,
+	opts := []detector.PipelineOption{
 		detector.WithShards(*shards),
 		detector.WithGraphReconstruction(),
 		detector.WithCheckEvery(*checkEvery),
 		detector.WithFlagHook(func(f detector.Flag) {
 			fmt.Printf("FLAG account %d at t=%d: freq=%.1f/h outAccept=%.2f cc=%.4f sent=%d\n",
 				f.ID, f.At, f.Vector.Freq1h, f.Vector.OutAccept, f.Vector.CC, f.Vector.OutSent)
-		}))
+		}),
+	}
 
-	events, batches := 0, 0
-	err := stream.SubscribeBatch(*addr, func(evs []osn.Event) {
-		events += len(evs)
-		batches++
-		p.ObserveBatch(evs)
-	}, *retries)
-	p.Close()
+	d := &daemon{}
+	if *ckptDir != "" {
+		store, err := checkpoint.Open(*ckptDir, *ckptKeep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d.store = store
+		st, path, err := store.Latest()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st != nil {
+			// Restored pipelines keep the snapshot's graph mode; the
+			// WithShards override still applies, so operators can change
+			// shard counts across restarts.
+			p, from, err := detector.NewPipelineFromSnapshot(rule, nil, st.Snapshot, opts...)
+			if err != nil {
+				log.Fatalf("restore %s: %v", path, err)
+			}
+			d.p = p
+			d.session = st.Session
+			d.resume = from
+			d.written = st.Snapshot.Seq
+			fmt.Printf("restored %s: %d accounts, %d flags, resuming feed at seq %d\n",
+				path, len(st.Snapshot.Accounts), len(st.Snapshot.Flags), from)
+		}
+	}
+	if d.p == nil {
+		// The pipeline rebuilds the friendship graph from the feed (an
+		// accept event is an edge creation) and fans events out to the
+		// shard owning each account.
+		d.p = detector.NewPipeline(rule, nil, opts...)
+	}
+	fmt.Printf("rule: %v\nsubscribing to %s (%d shards)\n", rule, *addr, *shards)
+
+	// First signal: kick the connection so the ingest loop unblocks,
+	// writes the final checkpoint and exits cleanly. Second: die.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Println("signal: writing final checkpoint and shutting down")
+		d.stop.Store(true)
+		d.mu.Lock()
+		if d.current != nil {
+			// Interrupt, not Kick: the ingest loop still needs the
+			// connection to carry the final checkpoint's ack.
+			d.current.Interrupt()
+		}
+		d.mu.Unlock()
+		<-sigc
+		log.Fatal("second signal: exiting without checkpoint")
+	}()
+
+	err := d.run(*addr, *retries, *ckptEvery, uint64(*ckptMaxLag))
+	if d.store != nil {
+		d.finalCheckpoint()
+	}
+	d.p.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("feed ended: %d events in %d batches, %d accounts tracked, %d flagged\n",
-		events, batches, p.Tracked(), p.FlaggedCount())
+	fmt.Printf("feed ended: %d events in %d batches, %d checkpoints, %d accounts tracked, %d flagged\n",
+		d.events, d.batches, d.checkpoints, d.p.Tracked(), d.p.FlaggedCount())
+}
+
+// run is the ingest loop: dial (or resume), drain batches into the
+// pipeline, checkpoint on the interval, reconnect on connection loss.
+// It returns nil on clean end of feed or operator shutdown.
+//
+// Checkpoints fire on two triggers: the wall-clock interval, and —
+// the liveness-critical one — applied progress reaching maxLag events
+// past the last durable checkpoint. The lag trigger is what keeps a
+// fast feed flowing: manual acks only move at checkpoints, so if the
+// consumer could drain the server's whole replay window between
+// checkpoints, the producer would block on a full window while the
+// consumer blocked in RecvBatch waiting for it — a deadlock broken
+// only by stall-timeout eviction. Acking by maxLag < window capacity
+// makes that state unreachable.
+func (d *daemon) run(addr string, maxRetries int, every time.Duration, maxLag uint64) error {
+	backoff := 50 * time.Millisecond
+	consecutive := 0
+	lastCkpt := time.Now()
+	for {
+		if d.stop.Load() {
+			return nil
+		}
+		var c *stream.Client
+		var err error
+		if d.session == "" {
+			c, err = stream.Dial(addr)
+		} else {
+			c, err = stream.DialResume(addr, d.session, d.resume)
+		}
+		if err != nil {
+			if errors.Is(err, stream.ErrGap) {
+				return fmt.Errorf("feed lost our resume window — state is stale, remove the checkpoint dir to rebuild from scratch: %w", err)
+			}
+			consecutive++
+			if consecutive > maxRetries {
+				return err
+			}
+			time.Sleep(backoff)
+			if backoff < 2*time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		consecutive = 0
+		backoff = 50 * time.Millisecond
+		// With checkpointing on, acks follow checkpoints (not
+		// deliveries): the feed holds everything since the last durable
+		// snapshot, which is exactly the crash-replay window.
+		c.SetManualAck(d.store != nil)
+		d.session = c.Session()
+		// Anchor the pipeline's stream position to the subscription
+		// point: a fresh feed may hand us sequences starting anywhere,
+		// and a checkpoint cut before the first batch must still record
+		// a sequence the server will accept a resume from.
+		if c.LastSeq() > d.p.Seq() {
+			d.p.ObserveBatchSeq(nil, c.LastSeq())
+		}
+		d.mu.Lock()
+		d.current = c
+		d.mu.Unlock()
+		if d.stop.Load() {
+			// The signal landed while dialing, before d.current was
+			// visible to the handler; deliver the interrupt ourselves.
+			c.Interrupt()
+		}
+
+		for {
+			var evs []osn.Event
+			evs, err = c.RecvBatch()
+			if err != nil {
+				break
+			}
+			// Resuming from the last durable checkpoint can replay
+			// events the in-memory pipeline already applied (a blip
+			// whose pre-resume checkpoint failed); counters are not
+			// idempotent, so drop everything at or below the pipeline's
+			// own sequence.
+			last := c.LastSeq()
+			if last <= d.p.Seq() {
+				continue
+			}
+			if first := last - uint64(len(evs)) + 1; first <= d.p.Seq() {
+				evs = evs[d.p.Seq()-first+1:]
+			}
+			d.p.ObserveBatchSeq(evs, last)
+			d.events += len(evs)
+			d.batches++
+			if d.store != nil && (time.Since(lastCkpt) >= every || d.p.Seq()-d.written >= maxLag) {
+				d.writeCheckpoint(c)
+				lastCkpt = time.Now()
+			}
+		}
+		d.mu.Lock()
+		d.current = nil
+		d.mu.Unlock()
+		if errors.Is(err, stream.ErrClosed) {
+			// Clean end of feed: checkpoint and ack through the final
+			// sequence while the connection can still carry the ack, so
+			// the producer's sent==delivered audit holds.
+			if d.store != nil {
+				d.writeCheckpoint(c)
+			}
+			c.Close()
+			return nil
+		}
+		if d.stop.Load() {
+			// Operator shutdown: checkpoint and push the ack through the
+			// interrupted-but-alive connection so the feed's accounting
+			// reflects what is durably applied, then hang up.
+			if d.store != nil {
+				d.writeCheckpoint(c)
+			}
+			c.Close()
+			return nil
+		}
+		c.Close()
+		// Connection lost mid-stream. Checkpoint before resuming:
+		// DialResume implicitly acks everything below the resume
+		// sequence, so the resume point must never run ahead of the
+		// newest durable snapshot — if the checkpoint write fails, we
+		// resume from the previous durable generation instead and let
+		// the dedupe guard above skip the replayed prefix.
+		if d.store != nil {
+			d.writeCheckpoint(nil)
+			lastCkpt = time.Now()
+		}
+		if d.written > 0 {
+			d.resume = d.written + 1
+		} else {
+			// No durable state yet (fresh session, first checkpoint
+			// failed): nothing to protect, resume at delivery position.
+			d.resume = c.LastSeq() + 1
+		}
+	}
+}
+
+// writeCheckpoint snapshots the pipeline, persists it, and — once the
+// file is durable — acknowledges the feed through the snapshot's
+// sequence (when a live connection is available to carry the ack).
+// Failures are logged, not fatal: the daemon keeps detecting and the
+// previous checkpoint generation keeps crash recovery possible.
+func (d *daemon) writeCheckpoint(c *stream.Client) {
+	snap := d.p.Snapshot()
+	if _, err := d.store.Write(d.session, snap); err != nil {
+		log.Printf("checkpoint failed (previous generation still valid): %v", err)
+		return
+	}
+	d.checkpoints++
+	d.written = snap.Seq
+	if c != nil {
+		c.Ack(snap.Seq)
+	}
+}
+
+// finalCheckpoint persists the pipeline's end state so the next start
+// resumes cleanly even after a graceful shutdown mid-campaign. No-op
+// when the newest checkpoint already covers everything applied.
+func (d *daemon) finalCheckpoint() {
+	if d.written == d.p.Seq() && d.checkpoints > 0 {
+		return
+	}
+	snap := d.p.Snapshot()
+	if path, err := d.store.Write(d.session, snap); err != nil {
+		log.Printf("final checkpoint failed: %v", err)
+	} else {
+		d.checkpoints++
+		d.written = snap.Seq
+		fmt.Printf("final checkpoint %s (seq %d, %d accounts, %d flags)\n",
+			path, snap.Seq, len(snap.Accounts), len(snap.Flags))
+	}
 }

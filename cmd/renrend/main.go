@@ -81,6 +81,16 @@ func main() {
 	pop.RunFor(*hours * sim.TicksPerHour)
 
 	fmt.Println(pop.Stats())
+	// Per-session lag (worst first): who is holding the feed back, and
+	// how close their replay window is to stalling Broadcast.
+	for _, ss := range srv.Stats().PerSession {
+		state := "connected"
+		if !ss.Connected {
+			state = "detached"
+		}
+		fmt.Printf("session %s (%s): behind=%d window=%d/%d (%.0f%% full)\n",
+			ss.ID, state, ss.Behind, ss.Buffered, ss.Window, 100*ss.Fill)
+	}
 	fmt.Println("campaign complete; draining subscriber replay windows")
 	srv.Close() // blocks until every subscriber drained (or the drain timeout cut it off)
 	st := srv.Stats()

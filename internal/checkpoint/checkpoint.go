@@ -1,0 +1,173 @@
+// Package checkpoint persists detector pipeline snapshots as atomic,
+// versioned checkpoint files, giving cmd/detectd durable state: a
+// periodic Pipeline.Snapshot lands on disk, the feed is acked only
+// through the checkpointed sequence, and a restart (crash or clean)
+// restores the newest checkpoint and resumes the stream from the
+// sequence it covers — the checkpointed-stateful-consumer shape that
+// makes kill -9 recovery exactly-once.
+//
+// File format: one JSON State per file, named
+// checkpoint-<seq>.json with the sequence zero-padded so
+// lexicographic order is sequence order. Writes go to a temporary
+// file in the same directory, are fsynced, then renamed into place —
+// a reader never observes a torn checkpoint. The store keeps the
+// newest K files (older ones are pruned after a successful write), so
+// one bad write can never destroy the only good checkpoint.
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sybilwild/internal/detector"
+)
+
+// FileVersion identifies the checkpoint file schema; a mismatch on
+// load fails loudly rather than misreading state.
+const FileVersion = 1
+
+// DefaultKeep is how many checkpoint generations a store retains.
+const DefaultKeep = 3
+
+// State is everything a restart needs: the pipeline image and the
+// stream session that can replay the events since it was cut.
+type State struct {
+	Version  int                        `json:"version"`
+	Session  string                     `json:"session"`
+	Snapshot *detector.PipelineSnapshot `json:"snapshot"`
+}
+
+// Store manages a directory of checkpoint files. Not safe for
+// concurrent use; a daemon checkpoints from one goroutine.
+type Store struct {
+	dir  string
+	keep int
+}
+
+// Open creates the directory if needed and returns a store keeping
+// the newest keep checkpoints (values < 1 mean DefaultKeep).
+func Open(dir string, keep int) (*Store, error) {
+	if keep < 1 {
+		keep = DefaultKeep
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &Store{dir: dir, keep: keep}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(seq uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("checkpoint-%020d.json", seq))
+}
+
+// seqOf parses the sequence out of a checkpoint filename, reporting
+// ok=false for foreign files.
+func seqOf(name string) (uint64, bool) {
+	base := filepath.Base(name)
+	if !strings.HasPrefix(base, "checkpoint-") || !strings.HasSuffix(base, ".json") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(base, "checkpoint-"), ".json"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// list returns the store's checkpoint files sorted newest first.
+func (s *Store) list() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if _, ok := seqOf(e.Name()); ok && !e.IsDir() {
+			names = append(names, filepath.Join(s.dir, e.Name()))
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names))) // padded names: lexicographic = sequence
+	return names, nil
+}
+
+// Write persists a snapshot atomically and prunes old generations.
+// It returns the path written. The write is durable before the rename
+// lands, so after Write returns it is safe to acknowledge the
+// snapshot's sequence to the feed.
+func (s *Store) Write(session string, snap *detector.PipelineSnapshot) (string, error) {
+	st := State{Version: FileVersion, Session: session, Snapshot: snap}
+	tmp, err := os.CreateTemp(s.dir, "checkpoint-*.tmp")
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	enc := json.NewEncoder(tmp)
+	if err := enc.Encode(&st); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: write: %w", err)
+	}
+	final := s.path(snap.Seq)
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync() // best effort: make the rename durable too
+		d.Close()
+	}
+	s.prune()
+	return final, nil
+}
+
+// prune removes checkpoints beyond the newest keep. Best effort:
+// pruning failures never fail a write.
+func (s *Store) prune() {
+	names, err := s.list()
+	if err != nil {
+		return
+	}
+	for _, old := range names[min(s.keep, len(names)):] {
+		os.Remove(old)
+	}
+}
+
+// Latest loads the newest readable checkpoint, returning its state
+// and path. Unreadable or schema-mismatched files are skipped in
+// favor of the next-newest generation (the atomic write makes torn
+// files impossible, but a store survives manual damage). With no
+// usable checkpoint it returns (nil, "", nil): a fresh start, not an
+// error.
+func (s *Store) Latest() (*State, string, error) {
+	names, err := s.list()
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, "", nil
+		}
+		return nil, "", err
+	}
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			continue
+		}
+		var st State
+		if json.Unmarshal(data, &st) != nil || st.Version != FileVersion || st.Snapshot == nil {
+			continue
+		}
+		return &st, name, nil
+	}
+	return nil, "", nil
+}

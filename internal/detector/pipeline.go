@@ -48,10 +48,17 @@ type Pipeline struct {
 
 	flags     chan Flag
 	mergeDone chan struct{}
+	syncAck   chan struct{} // merge's reply to a mergeSyncID sentinel
 	onFlag    func(Flag)
 
 	fmu     sync.RWMutex
 	flagged map[osn.AccountID]Flag
+
+	// lastSeq is the highest stream sequence stamped by a sequenced
+	// ingestion call (ObserveBatchSeq). Written and read only from the
+	// ingestion/snapshot goroutine — the snapshot contract requires
+	// Snapshot not to overlap Observe calls anyway.
+	lastSeq uint64
 
 	closeOnce sync.Once
 }
@@ -66,13 +73,16 @@ type Flag struct {
 
 // pshard is one partition: a goroutine draining in, the feature
 // counters of the accounts hashed to it, and its slice of the
-// per-account evaluation bookkeeping.
+// per-account evaluation bookkeeping. The shard keeps the full Flag
+// record (not just a bit) so a snapshot barrier can serialize verdicts
+// from the shard's own state, consistent with its counters, without
+// racing the merge goroutine.
 type pshard struct {
 	p       *Pipeline
 	in      chan shardMsg
 	tr      *features.Tracker
 	seen    map[osn.AccountID]int
-	flagged map[osn.AccountID]bool
+	flagged map[osn.AccountID]Flag
 	done    chan struct{}
 }
 
@@ -84,12 +94,15 @@ type shardEvent struct {
 	actor, target bool
 }
 
-// shardMsg is one channel hop to a shard: either a single event
-// (Observe, allocation-free) or a batch (ObserveBatch, one hop per
-// shard per wire batch).
+// shardMsg is one channel hop to a shard: a single event (Observe,
+// allocation-free), a batch (ObserveBatch, one hop per shard per wire
+// batch), or a snapshot barrier (Snapshot/Reshard): the shard
+// serializes its partition at that exact point in its event order and
+// replies on the channel.
 type shardMsg struct {
-	one   shardEvent
-	batch []shardEvent // nil means `one` is valid
+	one     shardEvent
+	batch   []shardEvent     // non-nil: batch dispatch
+	barrier chan<- shardPart // non-nil: serialize and reply
 }
 
 // PipelineOption configures NewPipeline.
@@ -146,6 +159,7 @@ func NewPipeline(c Classifier, g *graph.Graph, opts ...PipelineOption) *Pipeline
 		checkEvery: 1,
 		flags:      make(chan Flag, 256),
 		mergeDone:  make(chan struct{}),
+		syncAck:    make(chan struct{}, 1),
 		flagged:    make(map[osn.AccountID]Flag),
 	}
 	for _, o := range opts {
@@ -164,14 +178,7 @@ func NewPipeline(c Classifier, g *graph.Graph, opts ...PipelineOption) *Pipeline
 		p.shards = make([]*pshard, runtime.GOMAXPROCS(0))
 	}
 	for i := range p.shards {
-		s := &pshard{
-			p:       p,
-			in:      make(chan shardMsg, shardBuffer),
-			tr:      features.NewTracker(p.g),
-			seen:    make(map[osn.AccountID]int),
-			flagged: make(map[osn.AccountID]bool),
-			done:    make(chan struct{}),
-		}
+		s := newShard(p)
 		p.shards[i] = s
 		go s.run()
 	}
@@ -253,6 +260,25 @@ func (p *Pipeline) ObserveBatch(evs []osn.Event) {
 	}
 }
 
+// ObserveBatchSeq is ObserveBatch for sequenced feeds: evs is one wire
+// batch whose last event carries global stream sequence lastSeq (the
+// value of stream.Client.LastSeq after RecvBatch). The pipeline
+// remembers the highest sequence applied so Snapshot can stamp its
+// cut, which is what turns a checkpoint plus the feed's
+// resume-from-sequence into exactly-once crash recovery. Sequenced
+// ingestion must come from a single goroutine (the snapshot contract
+// already requires quiescing Observe calls around Snapshot).
+func (p *Pipeline) ObserveBatchSeq(evs []osn.Event, lastSeq uint64) {
+	p.ObserveBatch(evs)
+	if lastSeq > p.lastSeq {
+		p.lastSeq = lastSeq
+	}
+}
+
+// Seq returns the highest stream sequence applied via ObserveBatchSeq
+// (zero if the pipeline has only seen unsequenced events).
+func (p *Pipeline) Seq() uint64 { return p.lastSeq }
+
 // extendGraph grows the owned graph to cover the event's accounts and
 // records accept events as edges, before the event is visible to any
 // shard — so a shard evaluating an account never sees counters ahead
@@ -297,17 +323,35 @@ func (p *Pipeline) fillCC(v *features.Vector) {
 	}
 }
 
+// newShard builds an empty, not-yet-running shard.
+func newShard(p *Pipeline) *pshard {
+	return &pshard{
+		p:       p,
+		in:      make(chan shardMsg, shardBuffer),
+		tr:      features.NewTracker(p.g),
+		seen:    make(map[osn.AccountID]int),
+		flagged: make(map[osn.AccountID]Flag),
+		done:    make(chan struct{}),
+	}
+}
+
 // run is the shard loop: apply the owned side(s) of each event, then
-// evaluate the sender on its due friend requests.
+// evaluate the sender on its due friend requests. A barrier message
+// makes the shard serialize its partition — counters, cadence
+// positions and verdicts at exactly this point in its event order —
+// and reply before touching another event.
 func (s *pshard) run() {
 	defer close(s.done)
 	for msg := range s.in {
-		if msg.batch == nil {
+		switch {
+		case msg.barrier != nil:
+			msg.barrier <- s.serialize()
+		case msg.batch != nil:
+			for _, se := range msg.batch {
+				s.handle(se)
+			}
+		default:
 			s.handle(msg.one)
-			continue
-		}
-		for _, se := range msg.batch {
-			s.handle(se)
 		}
 	}
 }
@@ -323,7 +367,7 @@ func (s *pshard) handle(se shardEvent) {
 		return
 	}
 	id := se.ev.Actor
-	if s.flagged[id] {
+	if _, done := s.flagged[id]; done {
 		return
 	}
 	s.seen[id]++
@@ -333,10 +377,17 @@ func (s *pshard) handle(se shardEvent) {
 	v := s.tr.CountsOf(id)
 	s.p.fillCC(&v)
 	if s.p.c.Classify(v) {
-		s.flagged[id] = true
-		s.p.flags <- Flag{ID: id, At: se.ev.At, Vector: v}
+		f := Flag{ID: id, At: se.ev.At, Vector: v}
+		s.flagged[id] = f
+		s.p.flags <- f
 	}
 }
+
+// mergeSyncID is the sentinel Flag ID Snapshot pushes through the
+// flags channel to flush the merge stage: when merge answers it on
+// syncAck, every flag enqueued before the sentinel has been recorded
+// and its hook has fired. Real account IDs are never negative.
+const mergeSyncID osn.AccountID = -1
 
 // merge collects flags from all shards into the global verdict map and
 // fires the hook, serialized. The dup check is a defensive backstop:
@@ -345,6 +396,10 @@ func (s *pshard) handle(se shardEvent) {
 func (p *Pipeline) merge() {
 	defer close(p.mergeDone)
 	for f := range p.flags {
+		if f.ID == mergeSyncID {
+			p.syncAck <- struct{}{}
+			continue
+		}
 		p.fmu.Lock()
 		_, dup := p.flagged[f.ID]
 		if !dup {

@@ -1,0 +1,91 @@
+package detector
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"sybilwild/internal/osn"
+	"sybilwild/internal/sim"
+	"sybilwild/internal/stats"
+)
+
+// snapshotWorkload builds a running reconstruction-mode pipeline (the
+// detectd configuration) tracking the given number of accounts, fed
+// from a synthetic request/accept stream.
+func snapshotWorkload(b *testing.B, accounts, shards int) *Pipeline {
+	b.Helper()
+	r := stats.NewRand(int64(accounts))
+	p := NewPipeline(PaperRule(), nil, WithShards(shards), WithGraphReconstruction(), WithCheckEvery(4))
+	const chunk = 256
+	evs := make([]osn.Event, 0, chunk)
+	flush := func() {
+		p.ObserveBatch(evs)
+		evs = evs[:0]
+	}
+	at := sim.Time(0)
+	for a := 0; a < accounts; a++ {
+		for k := 0; k < 3; k++ {
+			tgt := osn.AccountID(r.Intn(accounts))
+			if int(tgt) == a {
+				tgt = osn.AccountID((a + 1) % accounts)
+			}
+			at++
+			evs = append(evs, osn.Event{Type: osn.EvFriendRequest, At: at, Actor: osn.AccountID(a), Target: tgt})
+			if r.Bernoulli(0.5) {
+				evs = append(evs, osn.Event{Type: osn.EvFriendAccept, At: at + 1, Actor: tgt, Target: osn.AccountID(a)})
+			}
+			if len(evs) >= chunk {
+				flush()
+			}
+		}
+	}
+	flush()
+	return p
+}
+
+// BenchmarkSnapshot measures the barrier + serialization cost of a
+// consistent pipeline snapshot as account count grows, and reports
+// the serialized checkpoint size — the latency a checkpointing
+// detectd pays per interval and the bytes it writes.
+func BenchmarkSnapshot(b *testing.B) {
+	for _, accounts := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("accounts=%d", accounts), func(b *testing.B) {
+			p := snapshotWorkload(b, accounts, 4)
+			defer p.Close()
+			b.ResetTimer()
+			var snap *PipelineSnapshot
+			for i := 0; i < b.N; i++ {
+				snap = p.Snapshot()
+			}
+			b.StopTimer()
+			data, err := json.Marshal(snap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(len(data)), "snapshot_bytes")
+			b.ReportMetric(float64(len(data))/float64(len(snap.Accounts)), "bytes/account")
+		})
+	}
+}
+
+// BenchmarkReshard measures a live repartition — barrier, shard
+// teardown, re-seeding, restart — at growing account counts,
+// alternating between two shard counts so every iteration does real
+// movement.
+func BenchmarkReshard(b *testing.B) {
+	for _, accounts := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("accounts=%d", accounts), func(b *testing.B) {
+			p := snapshotWorkload(b, accounts, 4)
+			defer p.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					p.Reshard(8)
+				} else {
+					p.Reshard(4)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,315 @@
+package detector
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"sybilwild/internal/features"
+	"sybilwild/internal/graph"
+	"sybilwild/internal/osn"
+	"sybilwild/internal/sim"
+)
+
+// graphSnapshotEmpty is a valid zero-account reconstructed graph,
+// used to reach restore's state validation in isolation.
+var graphSnapshotEmpty = graph.Snapshot{}
+
+// feedChunks feeds events through ObserveBatchSeq in fixed-size
+// chunks, stamping a synthetic 1-based stream sequence, and returns
+// the last sequence applied.
+func feedChunks(p *Pipeline, events []osn.Event, chunk int) uint64 {
+	seq := uint64(0)
+	for i := 0; i < len(events); i += chunk {
+		end := i + chunk
+		if end > len(events) {
+			end = len(events)
+		}
+		seq += uint64(end - i)
+		p.ObserveBatchSeq(events[i:end], seq)
+	}
+	return seq
+}
+
+func requireSameFlags(t *testing.T, label string, got, want []osn.AccountID) {
+	t.Helper()
+	got, want = sortedIDs(got), sortedIDs(want)
+	if len(want) == 0 {
+		t.Fatalf("%s: reference flagged nothing; test is vacuous", label)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: flag sets diverge:\n got %v\nwant %v", label, got, want)
+	}
+}
+
+// TestSnapshotRestoreContinuesExactly is the tentpole's core property:
+// cut a snapshot mid-stream, restore it into a fresh pipeline, feed
+// the remainder, and the flag set must equal both an uninterrupted
+// pipeline run and the serial Monitor replay. Static-graph mode, so
+// the Monitor comparison is exact.
+func TestSnapshotRestoreContinuesExactly(t *testing.T) {
+	pop := campaignLog(t, 61)
+	events := pop.Net.Events()
+	g := pop.Net.Graph()
+	rule := FitRule(features.Labelled(pop.Net, pop.Sybils, pop.Normals), PaperRule())
+
+	m := NewMonitor(rule, g, nil)
+	m.CheckEvery = 3
+	for _, ev := range events {
+		m.Observe(ev)
+	}
+
+	full := NewPipeline(rule, g, WithShards(4), WithCheckEvery(3))
+	feedChunks(full, events, 97)
+	full.Close()
+	requireSameFlags(t, "uninterrupted vs monitor", full.FlaggedIDs(), m.FlaggedIDs())
+
+	for _, cutFrac := range []int{4, 2} {
+		cut := len(events) / cutFrac
+		p1 := NewPipeline(rule, g, WithShards(4), WithCheckEvery(3))
+		seq := feedChunks(p1, events[:cut], 97)
+		snap := p1.Snapshot()
+		p1.Close() // the "crash": p1's in-memory state is discarded
+
+		if snap.Seq != seq {
+			t.Fatalf("cut 1/%d: snapshot stamped seq %d, applied %d", cutFrac, snap.Seq, seq)
+		}
+		p2, resume, err := NewPipelineFromSnapshot(rule, g, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resume != seq+1 {
+			t.Fatalf("cut 1/%d: resume sequence %d, want %d", cutFrac, resume, seq+1)
+		}
+		for i := cut; i < len(events); i += 97 {
+			end := i + 97
+			if end > len(events) {
+				end = len(events)
+			}
+			p2.ObserveBatch(events[i:end])
+		}
+		p2.Close()
+		requireSameFlags(t, fmt.Sprintf("restored at 1/%d vs monitor", cutFrac), p2.FlaggedIDs(), m.FlaggedIDs())
+		if p2.Tracked() != full.Tracked() {
+			t.Fatalf("cut 1/%d: restored run tracks %d accounts, uninterrupted %d", cutFrac, p2.Tracked(), full.Tracked())
+		}
+	}
+}
+
+// TestSnapshotRestoreGraphReconstruction: in reconstruction mode the
+// snapshot carries the rebuilt graph; the restored pipeline must end
+// the stream with a graph identical to the uninterrupted run's and
+// the same flags.
+func TestSnapshotRestoreGraphReconstruction(t *testing.T) {
+	pop := campaignLog(t, 73)
+	events := pop.Net.Events()
+	rule := Rule{OutAcceptMax: 0.5, FreqMin: 20, CCMax: 0.05, MinObserved: 10}
+
+	full := NewPipeline(rule, nil, WithShards(4), WithGraphReconstruction())
+	feedChunks(full, events, 64)
+	full.Close()
+
+	cut := len(events) / 3
+	p1 := NewPipeline(rule, nil, WithShards(4), WithGraphReconstruction())
+	feedChunks(p1, events[:cut], 64)
+	snap := p1.Snapshot()
+	p1.Close()
+	if snap.Graph == nil {
+		t.Fatal("reconstruction-mode snapshot has no graph")
+	}
+
+	p2, _, err := NewPipelineFromSnapshot(rule, nil, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.ObserveBatch(events[cut:])
+	p2.Close()
+
+	if !p2.Graph().Equal(full.Graph()) {
+		t.Fatal("restored run's reconstructed graph diverged from uninterrupted run's")
+	}
+	requireSameFlags(t, "restored reconstruction run", p2.FlaggedIDs(), full.FlaggedIDs())
+}
+
+// TestSnapshotRoundTripThroughJSON: a snapshot must survive its real
+// serialization format byte-for-byte — restore from decoded JSON, cut
+// a second snapshot immediately, and the two encodings must be
+// identical (deterministic ordering included).
+func TestSnapshotRoundTripThroughJSON(t *testing.T) {
+	pop := campaignLog(t, 89)
+	p := NewPipeline(Rule{OutAcceptMax: 0.5, FreqMin: 20, CCMax: 0.05, MinObserved: 10}, nil,
+		WithShards(5), WithGraphReconstruction(), WithCheckEvery(2))
+	feedChunks(p, pop.Net.Events(), 128)
+	snap := p.Snapshot()
+	p.Close()
+
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded PipelineSnapshot
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := NewPipelineFromSnapshot(Rule{OutAcceptMax: 0.5, FreqMin: 20, CCMax: 0.05, MinObserved: 10}, nil, &decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2 := p2.Snapshot()
+	p2.Close()
+	data2, err := json.Marshal(snap2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("snapshot → restore → snapshot is not byte-identical")
+	}
+}
+
+// TestRestoreShardOverride: restoring under a different WithShards
+// value — a restart-time reshard — must not change any verdict.
+func TestRestoreShardOverride(t *testing.T) {
+	pop := campaignLog(t, 97)
+	events := pop.Net.Events()
+	g := pop.Net.Graph()
+	rule := FitRule(features.Labelled(pop.Net, pop.Sybils, pop.Normals), PaperRule())
+
+	full := NewPipeline(rule, g, WithShards(4))
+	feedChunks(full, events, 100)
+	full.Close()
+
+	cut := len(events) / 2
+	p1 := NewPipeline(rule, g, WithShards(4))
+	feedChunks(p1, events[:cut], 100)
+	snap := p1.Snapshot()
+	p1.Close()
+	if snap.Shards != 4 {
+		t.Fatalf("snapshot shard count %d, want 4", snap.Shards)
+	}
+
+	for _, n := range []int{1, 3, 9} {
+		p2, _, err := NewPipelineFromSnapshot(rule, g, snap, WithShards(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p2.NumShards() != n {
+			t.Fatalf("restored with %d shards, want %d", p2.NumShards(), n)
+		}
+		p2.ObserveBatch(events[cut:])
+		p2.Close()
+		requireSameFlags(t, fmt.Sprintf("restore into %d shards", n), p2.FlaggedIDs(), full.FlaggedIDs())
+	}
+}
+
+// TestReshardEquivalence is the live-elasticity acceptance check:
+// resharding mid-trace — repeatedly, up and down — must flag exactly
+// what a fixed-shard run flags, keep earlier verdicts visible, and
+// leave per-account counters identical.
+func TestReshardEquivalence(t *testing.T) {
+	pop := campaignLog(t, 53)
+	events := pop.Net.Events()
+	g := pop.Net.Graph()
+	rule := FitRule(features.Labelled(pop.Net, pop.Sybils, pop.Normals), PaperRule())
+
+	fixed := NewPipeline(rule, g, WithShards(4), WithCheckEvery(2))
+	feedChunks(fixed, events, 83)
+	fixed.Close()
+
+	elastic := NewPipeline(rule, g, WithShards(4), WithCheckEvery(2))
+	plan := []int{2, 7, 1, 5} // reshard after each quarter of the trace
+	quarter := len(events) / 4
+	for i, n := range plan {
+		lo, hi := i*quarter, (i+1)*quarter
+		if i == len(plan)-1 {
+			hi = len(events)
+		}
+		for j := lo; j < hi; j += 83 {
+			end := j + 83
+			if end > hi {
+				end = hi
+			}
+			elastic.ObserveBatch(events[j:end])
+		}
+		before := elastic.FlaggedCount()
+		elastic.Reshard(n)
+		if elastic.NumShards() != n {
+			t.Fatalf("after Reshard(%d): NumShards = %d", n, elastic.NumShards())
+		}
+		if elastic.FlaggedCount() < before {
+			t.Fatalf("Reshard(%d) lost flags: %d -> %d", n, before, elastic.FlaggedCount())
+		}
+	}
+	elastic.Close()
+	requireSameFlags(t, "elastic vs fixed", elastic.FlaggedIDs(), fixed.FlaggedIDs())
+	if elastic.Tracked() != fixed.Tracked() {
+		t.Fatalf("elastic tracks %d accounts, fixed %d", elastic.Tracked(), fixed.Tracked())
+	}
+}
+
+// TestSnapshotFlushesFlagHooks: by the time Snapshot returns, every
+// verdict it contains has been recorded globally and had its hook
+// fired — the ordering that lets a checkpointer persist and
+// acknowledge the snapshot without risking a hook delivery lost to a
+// crash (restore never re-fires hooks).
+func TestSnapshotFlushesFlagHooks(t *testing.T) {
+	var fired atomic.Int64
+	p := NewPipeline(flagAll{}, nil, WithShards(4), WithGraphReconstruction(),
+		WithFlagHook(func(Flag) { fired.Add(1) }))
+	for i := 0; i < 30; i++ {
+		p.Observe(osn.Event{Type: osn.EvFriendRequest, At: sim.Time(i), Actor: osn.AccountID(i), Target: osn.AccountID(100 + i)})
+	}
+	snap := p.Snapshot()
+	if len(snap.Flags) != 30 {
+		t.Fatalf("snapshot holds %d flags, want 30", len(snap.Flags))
+	}
+	if got := fired.Load(); got != 30 {
+		t.Fatalf("snapshot returned with only %d of 30 hooks fired", got)
+	}
+	if p.FlaggedCount() != 30 {
+		t.Fatalf("snapshot returned with only %d of 30 flags recorded", p.FlaggedCount())
+	}
+	p.Close()
+}
+
+// TestReshardNoops: invalid and identical shard counts leave the
+// pipeline untouched and running.
+func TestReshardNoops(t *testing.T) {
+	p := NewPipeline(flagAll{}, nil, WithShards(3), WithGraphReconstruction())
+	p.Observe(osn.Event{Type: osn.EvFriendRequest, At: 1, Actor: 1, Target: 2})
+	p.Reshard(0)
+	p.Reshard(-2)
+	p.Reshard(3)
+	if p.NumShards() != 3 {
+		t.Fatalf("no-op reshard changed shard count to %d", p.NumShards())
+	}
+	p.Observe(osn.Event{Type: osn.EvFriendRequest, At: 2, Actor: 1, Target: 3})
+	p.Close()
+	if !p.Flagged(1) {
+		t.Fatal("pipeline stopped flagging after no-op reshards")
+	}
+}
+
+// TestRestoreRejectsBadSnapshots: version skew, missing graph, and
+// duplicate state must fail loudly.
+func TestRestoreRejectsBadSnapshots(t *testing.T) {
+	if _, _, err := NewPipelineFromSnapshot(flagAll{}, nil, &PipelineSnapshot{Version: 99, Shards: 2}); err == nil {
+		t.Fatal("version skew accepted")
+	}
+	if _, _, err := NewPipelineFromSnapshot(flagAll{}, nil,
+		&PipelineSnapshot{Version: SnapshotVersion, Shards: 2}); err == nil {
+		t.Fatal("snapshot without graph accepted despite nil static graph")
+	}
+	dup := &PipelineSnapshot{
+		Version: SnapshotVersion, Shards: 2,
+		Accounts: []AccountSnapshot{
+			{State: features.AccountState{ID: 5, OutSent: 1}},
+			{State: features.AccountState{ID: 5, OutSent: 2}},
+		},
+		Graph: &graphSnapshotEmpty,
+	}
+	if _, _, err := NewPipelineFromSnapshot(flagAll{}, nil, dup); err == nil {
+		t.Fatal("duplicate account state accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// TestSnapshotRoundTrip: for random graphs, FromSnapshot(Snapshot())
+// must reproduce the graph exactly — node count, edge set, and the
+// per-node adjacency insertion order the first-K-friends clustering
+// metric depends on — including through a JSON encode/decode, which is
+// how checkpoints actually travel.
+func TestSnapshotRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := New(0)
+		n := 50 + r.Intn(200)
+		g.AddNodes(n)
+		for i := 0; i < 4*n; i++ {
+			u, v := NodeID(r.Intn(n)), NodeID(r.Intn(n))
+			if u != v {
+				g.AddEdge(u, v, int64(i))
+			}
+		}
+
+		data, err := json.Marshal(g.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			t.Fatal(err)
+		}
+		h, err := FromSnapshot(snap)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !g.Equal(h) {
+			t.Fatalf("seed %d: round trip lost edges or creation order", seed)
+		}
+		for u := 0; u < n; u++ {
+			a, b := g.Neighbors(NodeID(u)), h.Neighbors(NodeID(u))
+			if len(a) != len(b) {
+				t.Fatalf("seed %d: node %d degree %d vs %d", seed, u, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("seed %d: node %d adjacency order diverged at %d", seed, u, i)
+				}
+			}
+			if g.ClusteringFirstK(NodeID(u), 50) != h.ClusteringFirstK(NodeID(u), 50) {
+				t.Fatalf("seed %d: node %d clustering coefficient diverged", seed, u)
+			}
+		}
+	}
+}
+
+// TestSnapshotStaysValidWhileGraphGrows: the snapshot's edge slice is
+// a copy, not a view.
+func TestSnapshotStaysValidWhileGraphGrows(t *testing.T) {
+	g := New(0)
+	g.AddNodes(4)
+	g.AddEdge(0, 1, 1)
+	snap := g.Snapshot()
+	g.AddEdge(2, 3, 2)
+	if len(snap.Edges) != 1 || snap.Nodes != 4 {
+		t.Fatalf("snapshot mutated by later growth: %+v", snap)
+	}
+}
+
+// TestFromSnapshotRejectsCorruption: out-of-range endpoints and
+// self-loops must fail loudly, not panic later.
+func TestFromSnapshotRejectsCorruption(t *testing.T) {
+	cases := []Snapshot{
+		{Nodes: 2, Edges: []EdgeTriple{{U: 0, V: 5, Time: 1}}},
+		{Nodes: 2, Edges: []EdgeTriple{{U: -1, V: 1, Time: 1}}},
+		{Nodes: 2, Edges: []EdgeTriple{{U: 1, V: 1, Time: 1}}},
+		{Nodes: 2, Edges: []EdgeTriple{{U: 0, V: 1, Time: 1}, {U: 0, V: 1, Time: 2}}},
+		{Nodes: -1},
+	}
+	for i, snap := range cases {
+		if _, err := FromSnapshot(snap); err == nil {
+			t.Errorf("case %d: corrupt snapshot accepted", i)
+		}
+	}
+}

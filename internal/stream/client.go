@@ -49,6 +49,8 @@ type Client struct {
 	evbuf    []osn.Event // reusable decode buffer backing pending
 	buf      []byte      // reusable frame buffer
 	eof      bool
+
+	manualAck bool // acks driven by Ack() instead of delivery
 }
 
 // Dial connects to a stream server as a fresh subscriber: it receives
@@ -130,11 +132,46 @@ func (c *Client) Session() string { return c.session }
 // caller; resume from LastSeq()+1.
 func (c *Client) LastSeq() uint64 { return c.lastSeq }
 
+// SetManualAck switches acknowledgement control to the caller. By
+// default the client acks whatever it has delivered, which trims the
+// server's replay window as fast as the application consumes — right
+// for stateless consumers, wrong for checkpointed ones: a consumer
+// that acked past its last durable checkpoint and then crashed would
+// find the events it needs already trimmed. In manual mode the client
+// never acks on its own; the application calls Ack with its
+// checkpointed sequence, so the server retains exactly the
+// events-since-last-checkpoint a crash would need replayed. The replay
+// window must be sized to cover one checkpoint interval or Broadcast
+// backpressure kicks in.
+func (c *Client) SetManualAck(on bool) { c.manualAck = on }
+
+// Ack acknowledges delivery through seq (clamped to what has actually
+// been delivered), flushing the frame immediately. Only useful in
+// manual-ack mode — automatic acking supersedes it otherwise. A write
+// error is advisory: the dead connection also surfaces on the next
+// read, which is where resume handling lives.
+func (c *Client) Ack(seq uint64) error {
+	if seq > c.lastSeq {
+		seq = c.lastSeq
+	}
+	if seq <= c.acked {
+		return nil
+	}
+	if err := writeControl(c.bw, frame{T: frameAck, Ack: seq}); err != nil {
+		return err
+	}
+	c.acked = seq
+	return c.bw.Flush()
+}
+
 // flushAcks acknowledges everything delivered so far. It runs
 // whenever the client is about to block for more data and on Close,
 // which bounds the unacknowledged backlog by one wire batch. Write
 // errors are ignored: a dead connection surfaces on the next read.
 func (c *Client) flushAcks() {
+	if c.manualAck {
+		return
+	}
 	if c.lastSeq > c.acked {
 		if writeControl(c.bw, frame{T: frameAck, Ack: c.lastSeq}) == nil {
 			c.bw.Flush()
@@ -230,12 +267,29 @@ func (c *Client) RecvBatch() ([]osn.Event, error) {
 	return evs, nil
 }
 
-// Close acknowledges everything delivered and disconnects. The
-// session remains resumable on the server until its linger expires.
+// Close acknowledges everything delivered (unless in manual-ack mode)
+// and disconnects. The session remains resumable on the server until
+// its linger expires.
 func (c *Client) Close() error {
 	c.flushAcks()
 	return c.conn.Close()
 }
+
+// Kick severs the connection without touching any client buffers,
+// unblocking a Recv/RecvBatch pending in another goroutine (it
+// returns a connection-loss error, so the session stays resumable).
+// Safe to call concurrently with the owning goroutine's calls.
+func (c *Client) Kick() { c.conn.Close() }
+
+// Interrupt makes a pending (or the next) Recv/RecvBatch fail with a
+// timeout error while leaving the connection itself usable for writes
+// — unlike Kick, the interrupted loop can still send a final Ack and
+// Close cleanly, which is how a signal handler stops an ingest loop
+// that must checkpoint-and-acknowledge on the way out. Reads must not
+// be retried after an Interrupt (a frame may have been consumed
+// partially); resume the session on a fresh connection instead. Safe
+// to call concurrently with the owning goroutine's calls.
+func (c *Client) Interrupt() { c.conn.SetReadDeadline(time.Now()) }
 
 // Subscribe dials addr and delivers events to fn until the server
 // ends the feed, transparently resuming the session (exponential

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -172,6 +173,21 @@ type ServerStats struct {
 	Delivered uint64 // events acknowledged by subscribers, summed
 	Sessions  int    // sessions held (connected or lingering for resume)
 	Evicted   uint64 // sessions evicted with undelivered events — the only loss path
+	// PerSession breaks lag down by subscriber, sorted worst-lagging
+	// first, so an operator can see which consumer is holding the feed
+	// back before the stall timeout evicts it.
+	PerSession []SessionStats
+}
+
+// SessionStats is one subscriber session's flow-control view.
+type SessionStats struct {
+	ID        string  // client-chosen session id
+	Connected bool    // false while lingering for resume
+	Acked     uint64  // highest sequence the client has acknowledged
+	Behind    uint64  // events behind the feed head (broadcast − acked)
+	Buffered  int     // replay-window fill: events held awaiting ack
+	Window    int     // replay-window capacity
+	Fill      float64 // Buffered/Window; at 1.0 this session stalls Broadcast
 }
 
 // NewServer listens on addr (e.g. "127.0.0.1:0") and starts accepting
@@ -521,17 +537,43 @@ func (s *Server) writer(sess *session, conn net.Conn, gen int) {
 	}
 }
 
-// Stats returns a snapshot of feed accounting.
+// Stats returns a snapshot of feed accounting, including per-session
+// subscriber lag.
 func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
-	n := len(s.sessions)
 	seq := s.seq
+	per := make([]SessionStats, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sess.mu.Lock()
+		st := SessionStats{
+			ID:        sess.id,
+			Connected: sess.conn != nil,
+			Acked:     sess.acked,
+			Buffered:  sess.n,
+			Window:    len(sess.ring),
+		}
+		sess.mu.Unlock()
+		if seq > st.Acked {
+			st.Behind = seq - st.Acked
+		}
+		if st.Window > 0 {
+			st.Fill = float64(st.Buffered) / float64(st.Window)
+		}
+		per = append(per, st)
+	}
 	s.mu.Unlock()
+	sort.Slice(per, func(i, j int) bool {
+		if per[i].Behind != per[j].Behind {
+			return per[i].Behind > per[j].Behind
+		}
+		return per[i].ID < per[j].ID
+	})
 	return ServerStats{
-		Broadcast: seq,
-		Delivered: s.delivered.Load(),
-		Sessions:  n,
-		Evicted:   s.evicted.Load(),
+		Broadcast:  seq,
+		Delivered:  s.delivered.Load(),
+		Sessions:   len(per),
+		Evicted:    s.evicted.Load(),
+		PerSession: per,
 	}
 }
 
