@@ -4,10 +4,16 @@
 GO ?= go
 
 # Output file for bench-json; bump the number each PR that refreshes
-# the committed perf baseline.
-BENCH_OUT ?= BENCH_3.json
+# the committed perf baseline. BENCH_BASE is the previous PR's
+# committed baseline that the fresh run is diffed against.
+BENCH_OUT ?= BENCH_4.json
+BENCH_BASE ?= BENCH_3.json
 
-.PHONY: all build test race bench bench-json fmt vet docs ci
+# Pinned staticcheck release; CI and local runs must agree on the
+# check set, so bump this deliberately, not implicitly.
+STATICCHECK_VERSION ?= 2025.1.1
+
+.PHONY: all build test race bench bench-json fmt vet docs staticcheck ci
 
 all: build
 
@@ -31,7 +37,7 @@ bench:
 # deliberately NOT part of `make ci`.
 bench-json:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > $(BENCH_OUT).tmp
-	$(GO) run ./cmd/benchjson < $(BENCH_OUT).tmp > $(BENCH_OUT)
+	$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) < $(BENCH_OUT).tmp > $(BENCH_OUT)
 	@rm -f $(BENCH_OUT).tmp
 
 fmt:
@@ -57,4 +63,16 @@ docs: vet
 	if [ $$fail -ne 0 ]; then exit 1; fi; \
 	echo "all packages documented"
 
-ci: fmt vet build race bench docs
+# Static analysis beyond vet, at a pinned release so local and CI
+# findings always agree. Uses an installed staticcheck binary when one
+# is on PATH, otherwise fetches the pinned version through `go run`
+# (needs network once).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not in PATH; running pinned $(STATICCHECK_VERSION) via go run" >&2; \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	fi
+
+ci: fmt vet build race bench docs staticcheck

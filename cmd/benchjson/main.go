@@ -5,13 +5,25 @@
 // trajectory as a machine-readable artifact:
 //
 //	go test -bench=. -benchtime=1x -run='^$' ./... | benchjson > BENCH.json
+//
+// With -compare BASELINE.json it additionally diffs the fresh run
+// against a committed baseline and prints per-benchmark deltas to
+// stderr (stdout stays pure JSON), so the bench-json CI job's log
+// shows the perf trajectory PR over PR:
+//
+//	go test -bench=. ... | benchjson -compare BENCH_3.json > BENCH_4.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
 	"log"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -29,7 +41,32 @@ type result struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
-	sc := bufio.NewScanner(os.Stdin)
+	compare := flag.String("compare", "", "baseline BENCH JSON file to diff the fresh run against (deltas on stderr)")
+	flag.Parse()
+
+	out, err := parseBench(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *compare != "" {
+		if base, err := loadBaseline(*compare); err != nil {
+			// Non-fatal: a fresh checkout may predate the baseline; the
+			// JSON artifact is still produced.
+			log.Printf("compare skipped: %v", err)
+		} else {
+			printDeltas(os.Stderr, *compare, base, out)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseBench reads `go test -bench` text output into results.
+func parseBench(r io.Reader) ([]result, error) {
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	out := []result{}
 	pkg := ""
@@ -66,12 +103,107 @@ func main() {
 			out = append(out, r)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		log.Fatal(err)
+	return out, sc.Err()
+}
+
+// loadBaseline reads a previously committed BENCH_<pr>.json.
+func loadBaseline(path string) ([]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		log.Fatal(err)
+	var base []result
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	return base, nil
+}
+
+// key identifies a benchmark across runs.
+func key(r result) string { return r.Package + " " + r.Name }
+
+// printDeltas writes a per-benchmark comparison of fresh against
+// base. ns/op leads (it exists for every benchmark); every other
+// shared metric follows. New and vanished benchmarks are listed so a
+// renamed benchmark never silently drops out of the trajectory.
+func printDeltas(w io.Writer, baseName string, base, fresh []result) {
+	baseBy := make(map[string]result, len(base))
+	for _, r := range base {
+		baseBy[key(r)] = r
+	}
+	fmt.Fprintf(w, "--- benchmark deltas vs %s (negative ns/op = faster) ---\n", baseName)
+	seen := make(map[string]bool, len(fresh))
+	for _, r := range fresh {
+		seen[key(r)] = true
+		b, ok := baseBy[key(r)]
+		if !ok {
+			fmt.Fprintf(w, "NEW      %-60s %s\n", key(r), metricString(r.Metrics))
+			continue
+		}
+		fmt.Fprintf(w, "%8s %-60s %s\n", deltaString(b.Metrics["ns/op"], r.Metrics["ns/op"]), key(r), deltaDetails(b, r))
+	}
+	var gone []string
+	for _, b := range base {
+		if !seen[key(b)] {
+			gone = append(gone, key(b))
+		}
+	}
+	sort.Strings(gone)
+	for _, k := range gone {
+		fmt.Fprintf(w, "VANISHED %s\n", k)
+	}
+	fmt.Fprintf(w, "--- %d benchmarks compared, %d new, %d vanished ---\n",
+		len(fresh)-countNew(baseBy, fresh), countNew(baseBy, fresh), len(gone))
+}
+
+func countNew(baseBy map[string]result, fresh []result) int {
+	n := 0
+	for _, r := range fresh {
+		if _, ok := baseBy[key(r)]; !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// deltaString renders the relative change of a metric, "n/a" when
+// either side is missing or zero.
+func deltaString(old, new float64) string {
+	if old == 0 || new == 0 || math.IsNaN(old) || math.IsNaN(new) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}
+
+// deltaDetails renders old→new for every metric the two runs share,
+// ns/op first, the rest in sorted order.
+func deltaDetails(b, r result) string {
+	units := make([]string, 0, len(r.Metrics))
+	for u := range r.Metrics {
+		if _, ok := b.Metrics[u]; ok && u != "ns/op" {
+			units = append(units, u)
+		}
+	}
+	sort.Strings(units)
+	parts := []string{fmt.Sprintf("ns/op %.4g→%.4g", b.Metrics["ns/op"], r.Metrics["ns/op"])}
+	for _, u := range units {
+		parts = append(parts, fmt.Sprintf("%s %.4g→%.4g (%s)", u, b.Metrics[u], r.Metrics[u], deltaString(b.Metrics[u], r.Metrics[u])))
+	}
+	return strings.Join(parts, "  ")
+}
+
+// metricString renders a metrics map compactly, ns/op first.
+func metricString(m map[string]float64) string {
+	units := make([]string, 0, len(m))
+	for u := range m {
+		if u != "ns/op" {
+			units = append(units, u)
+		}
+	}
+	sort.Strings(units)
+	parts := []string{fmt.Sprintf("ns/op %.4g", m["ns/op"])}
+	for _, u := range units {
+		parts = append(parts, fmt.Sprintf("%s %.4g", u, m[u]))
+	}
+	return strings.Join(parts, "  ")
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+pkg: sybilwild/internal/spool
+BenchmarkSpoolAppend 	  200000	       388.2 ns/op	        94.44 B/event	         2.576 Mevents/s	       5 B/op	       0 allocs/op
+pkg: sybilwild/internal/stream
+BenchmarkResumeFromDisk 	  200000	      1229 ns/op	         0.8134 Mevents/s	      51 B/op	       1 allocs/op
+Benchmark-not-a-result line that must be skipped
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	out, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(out))
+	}
+	r := out[0]
+	if r.Package != "sybilwild/internal/spool" || r.Name != "BenchmarkSpoolAppend" || r.Iterations != 200000 {
+		t.Fatalf("bad first result: %+v", r)
+	}
+	if r.Metrics["ns/op"] != 388.2 || r.Metrics["Mevents/s"] != 2.576 || r.Metrics["allocs/op"] != 0 {
+		t.Fatalf("bad metrics: %v", r.Metrics)
+	}
+	if out[1].Package != "sybilwild/internal/stream" {
+		t.Fatalf("pkg tracking broken: %+v", out[1])
+	}
+}
+
+func TestPrintDeltas(t *testing.T) {
+	base := []result{
+		{Package: "p", Name: "BenchmarkKept", Metrics: map[string]float64{"ns/op": 100, "Mevents/s": 2}},
+		{Package: "p", Name: "BenchmarkGone", Metrics: map[string]float64{"ns/op": 50}},
+	}
+	fresh := []result{
+		{Package: "p", Name: "BenchmarkKept", Metrics: map[string]float64{"ns/op": 80, "Mevents/s": 2.5}},
+		{Package: "p", Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 10}},
+	}
+	var sb strings.Builder
+	printDeltas(&sb, "BENCH_3.json", base, fresh)
+	got := sb.String()
+	for _, want := range []string{
+		"-20.0%",          // kept benchmark sped up 100→80
+		"p BenchmarkKept", //
+		"ns/op 100→80",    // old→new detail
+		"Mevents/s 2→2.5", // custom metrics compared too
+		"NEW      p BenchmarkNew",
+		"VANISHED p BenchmarkGone",
+		"1 benchmarks compared, 1 new, 1 vanished",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("delta output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDeltaStringEdges(t *testing.T) {
+	if got := deltaString(0, 5); got != "n/a" {
+		t.Fatalf("zero baseline: %q, want n/a", got)
+	}
+	if got := deltaString(200, 100); got != "-50.0%" {
+		t.Fatalf("halving: %q, want -50.0%%", got)
+	}
+	if got := deltaString(100, 103); got != "+3.0%" {
+		t.Fatalf("+3%%: %q", got)
+	}
+}

@@ -21,8 +21,11 @@
 // the events a crash would need replayed. On start the newest
 // checkpoint is restored and the stream resumed from the sequence it
 // covers, making even kill -9 recovery exactly-once: the flag set
-// matches an uninterrupted run. SIGINT/SIGTERM write a final
-// checkpoint and close the pipeline cleanly.
+// matches an uninterrupted run. When the feed spools to disk (renrend
+// -spool-dir) the resume succeeds from any retained sequence — a cold
+// start from an arbitrarily stale checkpoint replays from segment
+// files, far past the feed's in-memory replay window. SIGINT/SIGTERM
+// write a final checkpoint and close the pipeline cleanly.
 //
 // Usage:
 //
@@ -82,13 +85,20 @@ func main() {
 		ckptEvery  = flag.Duration("checkpoint-every", 10*time.Second, "interval between checkpoints")
 		ckptKeep   = flag.Int("checkpoint-keep", checkpoint.DefaultKeep, "checkpoint generations to retain")
 		ckptMaxLag = flag.Int("checkpoint-max-lag", stream.DefaultReplayBuffer/2,
-			"checkpoint early once this many events are applied past the last checkpoint; must stay below the feed's replay window")
+			"checkpoint early once this many events are applied past the last checkpoint; must stay below the feed's replay window unless the feed runs a disk spool, where 0 disables the trigger")
 	)
 	flag.Parse()
-	if *ckptDir != "" && *ckptMaxLag <= 0 {
-		// The lag trigger is liveness-critical (acks only move at
-		// checkpoints); a non-positive value would silently disable it.
-		log.Fatal("-checkpoint-max-lag must be positive")
+	if *ckptDir != "" && *ckptMaxLag < 0 {
+		log.Fatal("-checkpoint-max-lag must not be negative")
+	}
+	if *ckptDir != "" && *ckptMaxLag == 0 {
+		// Without the lag trigger, acks move only on the wall-clock
+		// interval. Against a memory-only feed whose replay window is
+		// smaller than one interval's traffic that deadlocks the
+		// producer/consumer pair (broken only by stall eviction); a
+		// spooled feed demotes us to disk catch-up instead, so there it
+		// is merely a retention trade-off.
+		log.Print("warning: -checkpoint-max-lag 0 disables the lag trigger; only safe when the feed spools to disk (renrend -spool-dir)")
 	}
 
 	rule := detector.Rule{
@@ -259,7 +269,8 @@ func (d *daemon) run(addr string, maxRetries int, every time.Duration, maxLag ui
 			d.p.ObserveBatchSeq(evs, last)
 			d.events += len(evs)
 			d.batches++
-			if d.store != nil && (time.Since(lastCkpt) >= every || d.p.Seq()-d.written >= maxLag) {
+			if d.store != nil && (time.Since(lastCkpt) >= every ||
+				(maxLag > 0 && d.p.Seq()-d.written >= maxLag)) {
 				d.writeCheckpoint(c)
 				lastCkpt = time.Now()
 			}

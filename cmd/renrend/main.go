@@ -7,6 +7,15 @@
 // to the simulation instead of losing events, and a briefly
 // disconnected one resumes from its last delivered sequence.
 //
+// With -spool-dir the feed also persists to disk: every event is
+// appended to segment files (internal/spool), and a subscriber that
+// fell past its in-memory replay window — a detector cold-starting
+// from a stale checkpoint, or one that was simply gone too long — is
+// caught up from the segments instead of being answered with a feed
+// gap. A slow subscriber is demoted to disk catch-up rather than
+// stalling the simulation. Retention is pruned by -spool-retain but
+// never past the lowest subscriber acknowledgement.
+//
 // The simulation starts once the first subscriber connects (so a
 // detector daemon never misses the campaign), then streams the whole
 // campaign, drains every subscriber's replay window, and exits with a
@@ -14,7 +23,8 @@
 //
 // Usage:
 //
-//	renrend -addr 127.0.0.1:7474 -normals 6000 -sybils 80 -hours 400
+//	renrend -addr 127.0.0.1:7474 -normals 6000 -sybils 80 -hours 400 \
+//	        -spool-dir /var/lib/renrend/spool -spool-retain 1073741824
 package main
 
 import (
@@ -26,6 +36,7 @@ import (
 	"sybilwild/internal/agents"
 	"sybilwild/internal/osn"
 	"sybilwild/internal/sim"
+	"sybilwild/internal/spool"
 	"sybilwild/internal/stream"
 )
 
@@ -40,10 +51,35 @@ func main() {
 		hours   = flag.Int64("hours", 400, "observation window (hours)")
 		wait    = flag.Duration("wait", 30*time.Second, "max wait for a first subscriber")
 		maxRate = flag.Int("maxrate", 0, "max events/second streamed (0 = unlimited); v2 backpressure already paces slow subscribers, set this only to smooth bursts")
+		window  = flag.Int("window", stream.DefaultReplayBuffer, "per-subscriber in-memory replay window in events; with a spool, tiny windows stay safe (overflow falls back to disk)")
+
+		spoolDir     = flag.String("spool-dir", "", "directory for the disk feed spool (empty: memory-only replay windows)")
+		spoolSegment = flag.Int64("spool-segment-bytes", spool.DefaultSegmentBytes, "segment file size before rolling (fsync on roll)")
+		spoolRetain  = flag.Int64("spool-retain", 0, "spool retention budget in bytes (0 = keep everything); pruning never passes the lowest subscriber ack")
+		spoolAge     = flag.Duration("spool-segment-age", 0, "also roll the active segment after this age (0 = size-only rolling)")
 	)
 	flag.Parse()
 
-	srv, err := stream.NewServer(*addr)
+	opts := []stream.ServerOption{stream.WithReplayBuffer(*window)}
+	var sp *spool.Spool
+	if *spoolDir != "" {
+		var err error
+		sp, err = spool.Open(*spoolDir,
+			spool.WithSegmentBytes(*spoolSegment),
+			spool.WithRetainBytes(*spoolRetain),
+			spool.WithSegmentAge(*spoolAge))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sp.Close()
+		opts = append(opts, stream.WithSpool(sp))
+		if st := sp.Stats(); st.End > 0 {
+			fmt.Printf("spool %s: resuming log at seq %d (%d segments, %d bytes retained from seq %d)\n",
+				*spoolDir, st.End+1, st.Segments, st.Bytes, st.First)
+		}
+	}
+
+	srv, err := stream.NewServer(*addr, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,11 +118,14 @@ func main() {
 
 	fmt.Println(pop.Stats())
 	// Per-session lag (worst first): who is holding the feed back, and
-	// how close their replay window is to stalling Broadcast.
+	// whether they are being served from memory or disk catch-up.
 	for _, ss := range srv.Stats().PerSession {
 		state := "connected"
 		if !ss.Connected {
 			state = "detached"
+		}
+		if ss.CatchUp {
+			state += ", disk catch-up"
 		}
 		fmt.Printf("session %s (%s): behind=%d window=%d/%d (%.0f%% full)\n",
 			ss.ID, state, ss.Behind, ss.Buffered, ss.Window, 100*ss.Fill)
@@ -95,4 +134,12 @@ func main() {
 	srv.Close() // blocks until every subscriber drained (or the drain timeout cut it off)
 	st := srv.Stats()
 	fmt.Printf("sent=%d delivered=%d sessions_evicted=%d\n", st.Broadcast, st.Delivered, st.Evicted)
+	if sp != nil {
+		sst := sp.Stats()
+		line := fmt.Sprintf("spool: %d segments, %d bytes, seqs %d-%d retained", sst.Segments, sst.Bytes, sst.First, sst.End)
+		if st.SpoolErr != "" {
+			line += " (DISK TIER FAILED: " + st.SpoolErr + ")"
+		}
+		fmt.Println(line)
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sybilwild/internal/osn"
+	"sybilwild/internal/spool"
 )
 
 // --- v1 baseline ---
@@ -258,4 +259,55 @@ func BenchmarkBatchCodec(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkResumeFromDisk is the two-tier replay path end to end: the
+// whole feed is broadcast through a server whose in-memory window
+// holds only 64 events, then a subscriber resumes from sequence 1 —
+// every event it drains is served from spool segments before the
+// session flips back to the live ring.
+func BenchmarkResumeFromDisk(b *testing.B) {
+	sp, err := spool.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sp.Close()
+	s, err := NewServer("127.0.0.1:0", WithReplayBuffer(64), WithSpool(sp))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	ev := osn.Event{Type: osn.EvFriendRequest, At: 1, Actor: 2, Target: 3}
+	// Register the session, then fill the spool while it is detached:
+	// by resume time the memory ring holds only the newest 64 events.
+	c, err := Dial(s.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	session := c.Session()
+	c.Kick()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.NumClients() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < b.N; i++ {
+		s.Broadcast(ev)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	c2, err := DialResume(s.Addr(), session, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c2.Close()
+	got := 0
+	for uint64(got) < uint64(b.N) {
+		evs, err := c2.RecvBatch()
+		if err != nil {
+			b.Fatalf("drain at %d of %d: %v", got, b.N, err)
+		}
+		got += len(evs)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(got)/b.Elapsed().Seconds()/1e6, "Mevents/s")
 }

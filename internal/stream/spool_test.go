@@ -1,0 +1,298 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sybilwild/internal/spool"
+)
+
+// spooledServer builds a server with a tiny in-memory window backed
+// by a disk spool in a test temp dir.
+func spooledServer(t *testing.T, window int, opts ...ServerOption) (*Server, *spool.Spool) {
+	t.Helper()
+	sp, err := spool.Open(t.TempDir(), spool.WithSegmentBytes(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sp.Close() })
+	srv, err := NewServer("127.0.0.1:0",
+		append([]ServerOption{WithReplayBuffer(window), WithSpool(sp)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, sp
+}
+
+// recvThrough drains the client until lastSeq reaches target,
+// checking sequence continuity via the events' At stamps (testEvent(i)
+// is broadcast as sequence i+1).
+func recvThrough(t *testing.T, c *Client, target uint64) {
+	t.Helper()
+	for c.LastSeq() < target {
+		evs, err := c.RecvBatch()
+		if err != nil {
+			t.Fatalf("recv at seq %d: %v", c.LastSeq(), err)
+		}
+		base := c.LastSeq() - uint64(len(evs)) + 1
+		for i, ev := range evs {
+			if want := int64(base) + int64(i) - 1; ev.At != want {
+				t.Fatalf("seq %d carries event At=%d, want %d", base+uint64(i), ev.At, want)
+			}
+		}
+	}
+}
+
+// TestResumePastWindowFromSpool is the tentpole behavior: a
+// subscriber disconnects, the feed runs hundreds of events past its
+// 16-event window, and the resume is still served — the gap coming
+// from disk segments — with no ErrGap and no discontinuity.
+func TestResumePastWindowFromSpool(t *testing.T) {
+	const total = 2000
+	srv, _ := spooledServer(t, 16)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		srv.Broadcast(testEvent(i))
+	}
+	recvThrough(t, c, 50)
+	session, last := c.Session(), c.LastSeq()
+	c.Kick() // hard kill, no goodbye
+	waitDetached(t, srv)
+
+	// The feed runs far past the window while the subscriber is gone;
+	// without the spool this session would be evicted and the resume
+	// answered with ErrGap.
+	for i := 100; i < total; i++ {
+		srv.Broadcast(testEvent(i))
+	}
+
+	c2, err := DialResume(srv.Addr(), session, last+1)
+	if err != nil {
+		t.Fatalf("resume past window: %v", err)
+	}
+	defer c2.Close()
+	recvThrough(t, c2, total)
+
+	// And the session is live again: new broadcasts flow through the
+	// memory ring.
+	srv.Broadcast(testEvent(total))
+	recvThrough(t, c2, total+1)
+	if st := srv.Stats(); st.Evicted != 0 {
+		t.Fatalf("evicted = %d, want 0 (nothing was lost)", st.Evicted)
+	}
+}
+
+// TestResumeEvictedSessionFromSpool: even after the session itself is
+// long gone (linger expiry), a resume with its id is recreated from
+// disk — the cold-start path a detector restoring a stale checkpoint
+// takes.
+func TestResumeEvictedSessionFromSpool(t *testing.T) {
+	srv, _ := spooledServer(t, 8, WithSessionLinger(10*time.Millisecond))
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		srv.Broadcast(testEvent(i))
+	}
+	recvThrough(t, c, 10)
+	session, last := c.Session(), c.LastSeq()
+	c.Kick()
+	waitDetached(t, srv)
+	time.Sleep(30 * time.Millisecond) // linger expires
+	for i := 20; i < 500; i++ {
+		srv.Broadcast(testEvent(i)) // sweeps the expired session away
+	}
+	if srv.Stats().Sessions != 0 {
+		t.Fatal("test premise broken: session still held")
+	}
+
+	c2, err := DialResume(srv.Addr(), session, last+1)
+	if err != nil {
+		t.Fatalf("cold resume of evicted session: %v", err)
+	}
+	defer c2.Close()
+	recvThrough(t, c2, 500)
+	if st := srv.Stats(); st.Evicted != 0 {
+		t.Fatalf("evicted = %d, want 0 (spool retains everything)", st.Evicted)
+	}
+}
+
+// TestSlowSubscriberDemotedNotStalled: with a spool, a subscriber
+// overflowing its window no longer blocks Broadcast (nor gets
+// evicted) — it is demoted to disk catch-up and still receives every
+// event.
+func TestSlowSubscriberDemotedNotStalled(t *testing.T) {
+	const total = 5000
+	srv, _ := spooledServer(t, 16, WithStallTimeout(50*time.Millisecond))
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Broadcast everything before the consumer reads a byte: the
+	// 16-event window overflows immediately. Without the spool this
+	// would block for the stall timeout and then evict; with it, the
+	// loop must complete quickly.
+	start := time.Now()
+	demoted := false
+	for i := 0; i < total; i++ {
+		srv.Broadcast(testEvent(i))
+		if !demoted && i%256 == 0 {
+			for _, ss := range srv.Stats().PerSession {
+				demoted = demoted || ss.CatchUp
+			}
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Broadcast of %d events took %v; demotion did not bypass backpressure", total, elapsed)
+	}
+	if !demoted {
+		t.Fatal("session never entered catch-up mode")
+	}
+	recvThrough(t, c, total)
+	if st := srv.Stats(); st.Evicted != 0 {
+		t.Fatalf("evicted = %d, want 0", st.Evicted)
+	}
+}
+
+// TestSpooledServerAdoptsSequence: a restarted producer reusing the
+// spool directory continues the sequence space, and a subscriber from
+// the previous incarnation resumes across the restart — disk history
+// first, live events after.
+func TestSpooledServerAdoptsSequence(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := spool.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer("127.0.0.1:0", WithReplayBuffer(16), WithSpool(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		srv.Broadcast(testEvent(i))
+	}
+	recvThrough(t, c, 120)
+	session, last := c.Session(), c.LastSeq()
+	c.Close()
+	srv.Close()
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same spool.
+	sp2, err := spool.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp2.Close()
+	srv2, err := NewServer("127.0.0.1:0", WithReplayBuffer(16), WithSpool(sp2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	srv2.Broadcast(testEvent(300)) // must be assigned sequence 301, not 1
+
+	c2, err := DialResume(srv2.Addr(), session, last+1)
+	if err != nil {
+		t.Fatalf("resume across producer restart: %v", err)
+	}
+	defer c2.Close()
+	recvThrough(t, c2, 301)
+}
+
+// TestResumeBelowRetentionIsErrGap: pruned history answers resumes
+// with a loud ErrGap, exactly like the memory tier used to — the
+// spool narrows the gap, it must never hide one.
+func TestResumeBelowRetentionIsErrGap(t *testing.T) {
+	sp, err := spool.Open(t.TempDir(),
+		spool.WithSegmentBytes(1024), spool.WithRetainBytes(2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	srv, err := NewServer("127.0.0.1:0", WithReplayBuffer(8), WithSpool(sp),
+		WithSessionLinger(10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Broadcast(testEvent(0))
+	recvThrough(t, c, 1)
+	session := c.Session()
+	c.Close() // clean close acks everything delivered
+	waitDetached(t, srv)
+	time.Sleep(30 * time.Millisecond) // linger expires: nothing pins retention
+	for i := 1; i < 3000; i++ {
+		srv.Broadcast(testEvent(i))
+	}
+	if sp.First() <= 1 {
+		t.Fatal("test premise broken: retention never pruned")
+	}
+	if _, err := DialResume(srv.Addr(), session, 2); !errors.Is(err, ErrGap) {
+		t.Fatalf("resume below retention: err = %v, want ErrGap", err)
+	}
+}
+
+// TestManualAckLargeLagOverSpool is the detectd shape that motivates
+// the disk tier: a manual-ack consumer whose acks move only at
+// checkpoints, with a window far smaller than the checkpoint
+// interval. Without the spool the producer/consumer pair would
+// deadlock (broken only by stall eviction); with it the consumer is
+// demoted and the feed drains fully.
+func TestManualAckLargeLagOverSpool(t *testing.T) {
+	const total = 4000
+	srv, _ := spooledServer(t, 32, WithStallTimeout(100*time.Millisecond))
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetManualAck(true)
+
+	done := make(chan error, 1)
+	go func() {
+		for c.LastSeq() < total {
+			if _, err := c.RecvBatch(); err != nil {
+				done <- err
+				return
+			}
+			// Checkpoint-shaped acks: every 1000 events, far beyond the
+			// 32-event window.
+			if seq := c.LastSeq(); seq/1000 > c.acked/1000 {
+				c.Ack(seq / 1000 * 1000)
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < total; i++ {
+		srv.Broadcast(testEvent(i))
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("consumer died: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("manual-ack consumer never drained the spooled feed")
+	}
+	if st := srv.Stats(); st.Evicted != 0 {
+		t.Fatalf("evicted = %d, want 0", st.Evicted)
+	}
+}

@@ -10,21 +10,35 @@
 // is at least once end to end (and exactly once through Subscribe,
 // which deduplicates on sequence numbers).
 //
+// With WithSpool the replay path is two-tier: every broadcast batch
+// is also appended to a disk spool (internal/spool), and a resume the
+// in-memory window can no longer serve — a consumer that fell past
+// the window, or one cold-starting from a stale checkpoint — is
+// caught up from segment files and handed back to the live ring, so
+// ErrGap retreats to genuine retention loss. A subscriber whose
+// window fills is likewise demoted to disk catch-up instead of
+// stalling the producer.
+//
 // The wire protocol — framing, the handshake, sequence/ack semantics
 // and the resume rules — is specified in docs/ARCHITECTURE.md.
 package stream
 
 import (
 	"bufio"
-	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"encoding/json"
+
 	"sybilwild/internal/osn"
+	"sybilwild/internal/spool"
 )
 
 // Server tunables. Each has a ServerOption override; the defaults suit
@@ -32,7 +46,8 @@ import (
 const (
 	// DefaultReplayBuffer is the per-subscriber replay window: events
 	// broadcast but not yet acknowledged. A subscriber holding the
-	// producer back for more than the window applies backpressure.
+	// producer back for more than the window applies backpressure
+	// (or, when a spool is configured, falls back to disk catch-up).
 	DefaultReplayBuffer = 16384
 	// DefaultMaxBatch caps events per batch frame.
 	DefaultMaxBatch = 256
@@ -44,7 +59,9 @@ const (
 	DefaultSessionLinger = 30 * time.Second
 	// DefaultStallTimeout is how long Broadcast blocks on one full
 	// connected subscriber before evicting it (liveness backstop: a
-	// dead-but-connected client cannot wedge the feed forever).
+	// dead-but-connected client cannot wedge the feed forever). Not
+	// reached when a spool is configured — a full window demotes to
+	// disk catch-up instead of blocking.
 	DefaultStallTimeout = 30 * time.Second
 	// DefaultDrainTimeout bounds Close: per-connection deadline for
 	// flushing the remaining window and the eof frame.
@@ -60,6 +77,7 @@ type serverOptions struct {
 	linger     time.Duration
 	stall      time.Duration
 	drain      time.Duration
+	spool      *spool.Spool
 }
 
 // ServerOption configures NewServer.
@@ -103,7 +121,7 @@ func WithSessionLinger(d time.Duration) ServerOption {
 }
 
 // WithStallTimeout sets how long Broadcast waits on one full connected
-// subscriber before evicting it.
+// subscriber before evicting it (spool-less servers only).
 func WithStallTimeout(d time.Duration) ServerOption {
 	return func(o *serverOptions) {
 		if d > 0 {
@@ -122,6 +140,18 @@ func WithDrainTimeout(d time.Duration) ServerOption {
 	}
 }
 
+// WithSpool attaches a disk spool as the second replay tier: every
+// broadcast is appended to it, resumes the memory window cannot serve
+// are caught up from its segments, and a subscriber overflowing its
+// window is demoted to disk catch-up instead of applying backpressure
+// or being evicted. The server adopts the spool's last sequence as
+// its own starting sequence, so a restarted producer reusing a spool
+// directory keeps the log gapless. Retention pruning runs on segment
+// roll, pinned to the minimum acknowledged sequence across sessions.
+func WithSpool(sp *spool.Spool) ServerOption {
+	return func(o *serverOptions) { o.spool = sp }
+}
+
 // Server broadcasts events to TCP subscribers with at-least-once
 // delivery. Broadcast and Close must not overlap; Broadcast itself is
 // safe for concurrent use.
@@ -133,9 +163,14 @@ type Server struct {
 	sessions map[string]*session
 	seq      uint64 // last sequence number assigned
 	closing  bool
+	bcast    [1]osn.Event // reusable single-event batch for spool appends
 
 	delivered atomic.Uint64
 	evicted   atomic.Uint64
+
+	spoolBroken atomic.Bool // a spool write failed; disk tier is offline
+	spoolErrMu  sync.Mutex
+	spoolErr    error
 
 	wg sync.WaitGroup
 }
@@ -143,20 +178,34 @@ type Server struct {
 // session is one subscriber's server-side state: a bounded ring of
 // events awaiting acknowledgement, cursors into it, and the (possibly
 // nil, while disconnected) current connection.
+//
+// A session is in exactly one of two modes. Live: the writer drains
+// the ring, which Broadcast appends to. Catch-up (spool servers
+// only): the ring is empty, the writer streams batches from the disk
+// spool, and Broadcast merely notes the advancing head (feedSeq);
+// when the catch-up reaches the head the session flips back to live
+// atomically with respect to Broadcast.
 type session struct {
 	id  string
 	srv *Server
 
 	mu   sync.Mutex
-	cond *sync.Cond  // writer wake: pending events, close, or conn change
-	ring []osn.Event // circular; holds seqs (acked, acked+n]
-	head int         // ring index of seq acked+1
+	cond *sync.Cond  // writer wake: pending events, acks, close, or conn change
+	ring []osn.Event // circular; holds seqs (base, base+n]
+	head int         // ring index of seq base+1
 	n    int
-	// Cursors: acked ≤ sent ≤ acked+n. Entries at or below acked are
-	// trimmed; (acked, sent] are in flight; (sent, acked+n] await the
-	// writer.
+	// Cursors: acked ≤ sent, base ≤ sent ≤ base+n. In live mode the
+	// ring holds (base, base+n]: (base, sent] are in flight, (sent,
+	// base+n] await the writer, and base tracks acked. In catch-up
+	// mode the ring is empty and (acked, sent] are in flight from
+	// disk; base is reset to sent when the session flips live, so
+	// base can run ahead of acked until the client's acks catch up.
 	acked uint64
 	sent  uint64
+	base  uint64
+
+	catchup bool   // writer streams from the spool instead of the ring
+	feedSeq uint64 // highest sequence Broadcast has shown this session
 
 	conn       net.Conn // nil while detached
 	gen        int      // connection generation; stale writers exit on mismatch
@@ -172,22 +221,30 @@ type ServerStats struct {
 	Broadcast uint64 // events broadcast (highest sequence assigned)
 	Delivered uint64 // events acknowledged by subscribers, summed
 	Sessions  int    // sessions held (connected or lingering for resume)
-	Evicted   uint64 // sessions evicted with undelivered events — the only loss path
+	Evicted   uint64 // sessions evicted with unrecoverable undelivered events — the only loss path
 	// PerSession breaks lag down by subscriber, sorted worst-lagging
 	// first, so an operator can see which consumer is holding the feed
 	// back before the stall timeout evicts it.
 	PerSession []SessionStats
+	// Spool accounting, when a disk tier is configured. SpoolFirst is
+	// the oldest retained sequence (resumes reach back this far);
+	// SpoolErr reports the write failure that took the disk tier
+	// offline, if any.
+	SpoolFirst uint64
+	SpoolEnd   uint64
+	SpoolErr   string
 }
 
 // SessionStats is one subscriber session's flow-control view.
 type SessionStats struct {
 	ID        string  // client-chosen session id
 	Connected bool    // false while lingering for resume
+	CatchUp   bool    // serving from the disk spool, not the live ring
 	Acked     uint64  // highest sequence the client has acknowledged
 	Behind    uint64  // events behind the feed head (broadcast − acked)
 	Buffered  int     // replay-window fill: events held awaiting ack
 	Window    int     // replay-window capacity
-	Fill      float64 // Buffered/Window; at 1.0 this session stalls Broadcast
+	Fill      float64 // Buffered/Window; at 1.0 this session stalls a spool-less Broadcast
 }
 
 // NewServer listens on addr (e.g. "127.0.0.1:0") and starts accepting
@@ -209,6 +266,12 @@ func NewServer(addr string, opts ...ServerOption) (*Server, error) {
 		return nil, fmt.Errorf("stream: listen: %w", err)
 	}
 	s := &Server{ln: ln, opt: o, sessions: make(map[string]*session)}
+	if o.spool != nil {
+		// Adopt the spooled log's position: a restarted producer
+		// continues the sequence space instead of reusing numbers the
+		// spool already assigned to different events.
+		s.seq = o.spool.End()
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -229,44 +292,109 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// Broadcast assigns the event the next sequence number and appends it
-// to every session's replay window. It blocks — up to the stall
-// timeout per subscriber — when a connected subscriber's window is
-// full, so a slow consumer slows the feed down instead of losing
-// events. Safe for concurrent use; must not overlap Close.
+// spoolUsable reports whether the disk tier can serve and accept
+// data.
+func (s *Server) spoolUsable() bool {
+	return s.opt.spool != nil && !s.spoolBroken.Load()
+}
+
+// Broadcast assigns the event the next sequence number, appends it to
+// the spool (when configured), and appends it to every session's
+// replay window. Without a spool it blocks — up to the stall timeout
+// per subscriber — when a connected subscriber's window is full, so a
+// slow consumer slows the feed down instead of losing events; with a
+// spool the full subscriber is demoted to disk catch-up and the feed
+// keeps flowing. Safe for concurrent use; must not overlap Close.
 func (s *Server) Broadcast(ev osn.Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
+	if s.spoolUsable() {
+		s.bcast[0] = ev
+		rolled, err := s.opt.spool.Append(s.seq, s.bcast[:1])
+		if err != nil {
+			// The disk tier is gone, loudly; the memory tier keeps the
+			// feed alive with its original semantics.
+			s.spoolBroken.Store(true)
+			s.spoolErrMu.Lock()
+			s.spoolErr = err
+			s.spoolErrMu.Unlock()
+			log.Printf("stream: spool append failed, disk replay tier offline: %v", err)
+		} else if rolled {
+			s.opt.spool.Prune(s.minAckedLocked())
+		}
+	}
 	for _, sess := range s.sessions {
-		sess.append(ev) // may evict, deleting from s.sessions (safe during range)
+		sess.append(ev, s.seq) // may evict, deleting from s.sessions (safe during range)
 	}
 }
 
-// append adds ev to the session's window, blocking while a connected
-// subscriber's window is full. Caller holds srv.mu (evictions mutate
-// the session table). Returns false if the session was evicted.
-func (sess *session) append(ev osn.Event) bool {
+// minAckedLocked is the retention floor: the lowest acknowledged
+// sequence across live sessions. Caller holds s.mu.
+func (s *Server) minAckedLocked() uint64 {
+	floor := s.seq
+	for _, sess := range s.sessions {
+		sess.mu.Lock()
+		if sess.acked < floor {
+			floor = sess.acked
+		}
+		sess.mu.Unlock()
+	}
+	return floor
+}
+
+// append adds ev (sequence seq) to the session's window, blocking
+// while a spool-less connected subscriber's window is full. Caller
+// holds srv.mu (evictions mutate the session table). Returns false if
+// the session was evicted.
+func (sess *session) append(ev osn.Event, seq uint64) bool {
 	sess.mu.Lock()
+	sess.feedSeq = seq
 	for {
 		if sess.gone || sess.closing {
 			alive := !sess.gone
 			sess.mu.Unlock()
 			return alive
 		}
-		if sess.conn == nil && (sess.n == len(sess.ring) ||
-			time.Since(sess.detachedAt) > sess.srv.opt.linger) {
-			// Nobody to wait for: the window overflowed while detached,
-			// or the resume window expired.
+		lingered := sess.conn == nil && time.Since(sess.detachedAt) > sess.srv.opt.linger
+		if sess.catchup {
+			if lingered {
+				// Disk catch-up does not extend a session's lifetime:
+				// the resume window still expires (the data survives in
+				// the spool for a recreated session).
+				sess.evictLocked()
+				sess.mu.Unlock()
+				return false
+			}
+			// The spool holds the event; wake a writer waiting at the
+			// old head so it keeps reading.
+			sess.cond.Signal()
+			sess.mu.Unlock()
+			return true
+		}
+		full := sess.n == len(sess.ring)
+		if full && sess.srv.spoolUsable() && !lingered {
+			// Window overflow with a disk tier: spill to catch-up
+			// instead of blocking the producer (connected) or dying
+			// (detached). The ring's contents are all in the spool.
+			sess.demoteLocked()
+			sess.cond.Broadcast()
+			sess.mu.Unlock()
+			return true
+		}
+		if sess.conn == nil && (full || lingered) {
+			// Nobody to wait for: the window overflowed while detached
+			// with no disk tier to spill to, or the resume window
+			// expired.
 			sess.evictLocked()
 			sess.mu.Unlock()
 			return false
 		}
-		if sess.n < len(sess.ring) {
+		if !full {
 			break
 		}
-		// Connected and full: backpressure, bounded by the stall
-		// timeout.
+		// Connected and full, no spool: backpressure, bounded by the
+		// stall timeout.
 		sess.mu.Unlock()
 		timer := time.NewTimer(sess.srv.opt.stall)
 		select {
@@ -289,16 +417,30 @@ func (sess *session) append(ev osn.Event) bool {
 	return true
 }
 
+// demoteLocked switches the session from live ring delivery to spool
+// catch-up. The ring is cleared — everything it held is on disk — and
+// the writer picks up reading at sent+1. sess.mu must be held.
+func (sess *session) demoteLocked() {
+	sess.catchup = true
+	sess.head, sess.n = 0, 0
+	select {
+	case sess.space <- struct{}{}:
+	default:
+	}
+}
+
 // evictLocked removes the session permanently. Both srv.mu and sess.mu
 // must be held. Loss is only counted when undelivered events die with
-// the session.
+// the session irrecoverably — a usable spool still holds them for a
+// later resume, so spooled evictions are not loss.
 func (sess *session) evictLocked() {
 	if sess.gone {
 		return
 	}
 	sess.gone = true
 	delete(sess.srv.sessions, sess.id)
-	if sess.n > 0 {
+	undelivered := sess.n > 0 || (sess.catchup && sess.acked < sess.feedSeq)
+	if undelivered && !sess.srv.spoolUsable() {
 		sess.srv.evicted.Add(1)
 	}
 	if sess.conn != nil {
@@ -309,19 +451,23 @@ func (sess *session) evictLocked() {
 	sess.cond.Broadcast()
 }
 
-// ackTo processes a client acknowledgement: trim the window through
-// seq and wake a producer blocked on the window.
+// ackTo processes a client acknowledgement: advance the delivered
+// high-water mark, trim the ring past the acked prefix, and wake a
+// producer or catch-up writer blocked on the window.
 func (sess *session) ackTo(seq uint64) {
 	sess.mu.Lock()
 	if seq > sess.sent {
 		seq = sess.sent // cannot ack what was never sent
 	}
 	if seq > sess.acked {
-		delta := int(seq - sess.acked)
+		sess.srv.delivered.Add(seq - sess.acked)
+		sess.acked = seq
+	}
+	if !sess.catchup && seq > sess.base {
+		delta := int(seq - sess.base)
 		sess.head = (sess.head + delta) % len(sess.ring)
 		sess.n -= delta
-		sess.acked = seq
-		sess.srv.delivered.Add(uint64(delta))
+		sess.base = seq
 		select {
 		case sess.space <- struct{}{}:
 		default:
@@ -364,6 +510,16 @@ func (s *Server) detach(sess *session, gen int) {
 		}
 	}
 	sess.mu.Unlock()
+}
+
+// evict removes the session under the full lock order (used by the
+// catch-up writer when the spool can no longer serve it).
+func (s *Server) evict(sess *session) {
+	s.mu.Lock()
+	sess.mu.Lock()
+	sess.evictLocked()
+	sess.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // serveConn performs the handshake, then runs the connection's ack
@@ -422,6 +578,13 @@ func (s *Server) serveConn(conn net.Conn) {
 // admit registers or resumes the session named in hello and attaches
 // conn to it. It returns the session, the connection generation and
 // the first sequence the writer will send, or a rejection reason.
+//
+// Resume resolution is two-tier: the session's in-memory ring first;
+// then, when the requested sequence has left memory (trimmed, window
+// overflowed, session evicted or never known), the disk spool — the
+// session is (re)created in catch-up mode and served from segments
+// until it reaches the head. Only a sequence below the spool's
+// retained range, or a missing/broken spool, rejects.
 func (s *Server) admit(hello frame, conn net.Conn) (sess *session, gen int, from uint64, reject string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -437,108 +600,301 @@ func (s *Server) admit(hello frame, conn net.Conn) (sess *session, gen int, from
 			sess.evictLocked()
 			sess.mu.Unlock()
 		}
-		sess = &session{
-			id:    hello.Session,
-			srv:   s,
-			ring:  make([]osn.Event, s.opt.replay),
-			acked: s.seq,
-			sent:  s.seq,
-			space: make(chan struct{}, 1),
-		}
-		sess.cond = sync.NewCond(&sess.mu)
-		s.sessions[hello.Session] = sess
+		sess = s.newSessionLocked(hello.Session, s.seq, false)
 		sess.mu.Lock()
 		gen = sess.attachLocked(conn)
 		sess.mu.Unlock()
 		return sess, gen, s.seq + 1, ""
 	}
-	if sess == nil {
+	r := hello.Resume
+	if r > s.seq+1 {
+		return nil, 0, 0, "resume sequence ahead of feed"
+	}
+	if sess != nil {
+		sess.mu.Lock()
+		switch {
+		case !sess.catchup && r > sess.base && r <= sess.base+uint64(sess.n)+1:
+			// Memory tier: the ring still holds (or abuts) r.
+			// Resuming from r implicitly acknowledges everything
+			// before it.
+			if r-1 > sess.acked {
+				s.delivered.Add(r - 1 - sess.acked)
+				sess.acked = r - 1
+			}
+			if delta := int(r - 1 - sess.base); delta > 0 {
+				sess.head = (sess.head + delta) % len(sess.ring)
+				sess.n -= delta
+				sess.base = r - 1
+				select {
+				case sess.space <- struct{}{}:
+				default:
+				}
+			}
+			sess.sent = r - 1 // rewind: resend anything in flight when the conn died
+			gen = sess.attachLocked(conn)
+			sess.mu.Unlock()
+			return sess, gen, r, ""
+		case sess.catchup && r > sess.acked:
+			// Already catching up; rewind the disk cursor to r.
+			s.delivered.Add(r - 1 - sess.acked)
+			sess.acked = r - 1
+			sess.sent = r - 1
+			gen = sess.attachLocked(conn)
+			sess.mu.Unlock()
+			return sess, gen, r, ""
+		}
+		// The memory tier cannot serve r (trimmed, or a stale client
+		// behind its own acks). Fall through to the disk tier with a
+		// fresh session object.
+		if !s.spoolServes(r) {
+			sess.mu.Unlock()
+			return nil, 0, 0, "resume sequence already trimmed"
+		}
+		sess.evictLocked()
+		sess.mu.Unlock()
+	} else if !s.spoolServes(r) {
 		return nil, 0, 0, "unknown session (resume window expired)"
 	}
+	// Disk tier: catch up from segment files, then flip live.
+	sess = s.newSessionLocked(hello.Session, r-1, r <= s.seq)
 	sess.mu.Lock()
-	defer sess.mu.Unlock()
-	switch r := hello.Resume; {
-	case r <= sess.acked:
-		return nil, 0, 0, "resume sequence already trimmed"
-	case r > sess.acked+uint64(sess.n)+1:
-		return nil, 0, 0, "resume sequence ahead of feed"
-	default:
-		// Resuming from r implicitly acknowledges everything before it.
-		if delta := int(r - 1 - sess.acked); delta > 0 {
-			sess.head = (sess.head + delta) % len(sess.ring)
-			sess.n -= delta
-			sess.acked = r - 1
-			s.delivered.Add(uint64(delta))
-			select {
-			case sess.space <- struct{}{}:
-			default:
-			}
-		}
-		sess.sent = r - 1 // rewind: resend anything in flight when the conn died
-		gen = sess.attachLocked(conn)
-		return sess, gen, r, ""
-	}
+	gen = sess.attachLocked(conn)
+	sess.mu.Unlock()
+	return sess, gen, r, ""
 }
 
-// writer drains the session's window onto one connection in coalesced
-// batch frames: up to maxBatch events per frame, flushed when the
-// window is momentarily empty or the flush interval elapses. At server
-// close it finishes the window, sends the eof frame and arms a read
-// deadline so the ack reader also terminates.
+// spoolServes reports whether the disk tier retains sequence r.
+// Caller holds s.mu.
+func (s *Server) spoolServes(r uint64) bool {
+	if !s.spoolUsable() {
+		return false
+	}
+	first := s.opt.spool.First()
+	return first != 0 && first <= r
+}
+
+// newSessionLocked registers a session whose cursors sit at seq
+// (acked = sent = base = seq). Caller holds s.mu.
+func (s *Server) newSessionLocked(id string, seq uint64, catchup bool) *session {
+	sess := &session{
+		id:      id,
+		srv:     s,
+		ring:    make([]osn.Event, s.opt.replay),
+		acked:   seq,
+		sent:    seq,
+		base:    seq,
+		feedSeq: s.seq,
+		catchup: catchup,
+		space:   make(chan struct{}, 1),
+	}
+	sess.cond = sync.NewCond(&sess.mu)
+	s.sessions[id] = sess
+	return sess
+}
+
+// writer drains the session onto one connection, switching between
+// live-ring delivery and disk catch-up as the session's mode changes,
+// until the connection dies, the generation moves on, or the feed
+// ends.
 func (s *Server) writer(sess *session, conn net.Conn, gen int) {
 	defer s.wg.Done()
 	bw := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		sess.mu.Lock()
+		cu := sess.catchup
+		stale := sess.gen != gen
+		sess.mu.Unlock()
+		if stale {
+			return
+		}
+		if cu {
+			if !s.writeCatchup(sess, conn, bw, gen) {
+				return
+			}
+		} else {
+			if !s.writeLive(sess, conn, bw, gen) {
+				return
+			}
+		}
+	}
+}
+
+// writeLive drains the session's ring onto the connection in
+// coalesced batch frames: up to maxBatch events per frame, flushed
+// when the window is momentarily empty or the flush interval elapses.
+// At server close it finishes the window, sends the eof frame and
+// arms a read deadline so the ack reader also terminates. It returns
+// true when the session demoted to catch-up (the caller switches
+// loops), false when this writer is done.
+func (s *Server) writeLive(sess *session, conn net.Conn, bw *bufio.Writer, gen int) bool {
 	scratch := make([]osn.Event, 0, s.opt.maxBatch)
 	var payload []byte
 	lastFlush := time.Now()
 	for {
 		sess.mu.Lock()
-		for sess.gen == gen && !sess.closing && sess.sent == sess.acked+uint64(sess.n) {
+		for sess.gen == gen && !sess.closing && !sess.catchup &&
+			sess.sent == sess.base+uint64(sess.n) {
 			sess.cond.Wait()
 		}
 		if sess.gen != gen {
 			sess.mu.Unlock()
-			return
+			return false
 		}
-		pending := int(sess.acked + uint64(sess.n) - sess.sent)
+		if sess.catchup {
+			sess.mu.Unlock()
+			if err := bw.Flush(); err != nil {
+				s.detach(sess, gen)
+				return false
+			}
+			return true
+		}
+		pending := int(sess.base + uint64(sess.n) - sess.sent)
 		if pending == 0 { // implies closing: window drained, say goodbye
 			sess.mu.Unlock()
 			writeControl(bw, frame{T: frameEOF})
 			bw.Flush()
 			conn.SetReadDeadline(time.Now().Add(s.opt.drain))
-			return
+			return false
 		}
 		nb := pending
 		if nb > s.opt.maxBatch {
 			nb = s.opt.maxBatch
 		}
 		first := sess.sent + 1
-		off := int(sess.sent - sess.acked)
+		off := int(sess.sent - sess.base)
 		scratch = scratch[:0]
 		for k := 0; k < nb; k++ {
 			scratch = append(scratch, sess.ring[(sess.head+off+k)%len(sess.ring)])
 		}
 		sess.sent += uint64(nb)
-		drained := sess.sent == sess.acked+uint64(sess.n)
+		drained := sess.sent == sess.base+uint64(sess.n)
 		sess.mu.Unlock()
 
 		payload = appendBatchFrame(payload[:0], first, scratch)
 		if err := writeFrame(bw, payload); err != nil {
 			s.detach(sess, gen)
-			return
+			return false
 		}
 		if drained || time.Since(lastFlush) >= s.opt.flushEvery {
 			if err := bw.Flush(); err != nil {
 				s.detach(sess, gen)
-				return
+				return false
 			}
 			lastFlush = time.Now()
 		}
 	}
 }
 
+// writeCatchup streams the gap (sent, head] from the disk spool onto
+// the connection, then flips the session back to live delivery
+// atomically with Broadcast. Unlike the live ring there is no
+// ack-driven flow control here — the data already sits on disk, so a
+// slow reader costs no server memory and TCP backpressure alone paces
+// the transfer (this is also what lets a manual-ack consumer whose
+// acks are sparser than its window catch up without deadlocking). It
+// returns true on a successful flip, false when this writer is done
+// (conn death, generation change, or an unserviceable spool — which
+// evicts the session loudly).
+func (s *Server) writeCatchup(sess *session, conn net.Conn, bw *bufio.Writer, gen int) bool {
+	sess.mu.Lock()
+	from := sess.sent + 1
+	sess.mu.Unlock()
+	rd, err := s.opt.spool.ReadFrom(from)
+	if err != nil {
+		log.Printf("stream: session %s catch-up at seq %d unserviceable: %v", sess.id, from, err)
+		s.evict(sess)
+		return false
+	}
+	defer rd.Close()
+	scratch := make([]osn.Event, 0, s.opt.maxBatch)
+	var payload []byte
+	lastFlush := time.Now()
+	for {
+		sess.mu.Lock()
+		if sess.gen != gen || sess.gone {
+			sess.mu.Unlock()
+			return false
+		}
+		sess.mu.Unlock()
+
+		first, evs, err := rd.Next(scratch[:0], s.opt.maxBatch)
+		switch {
+		case errors.Is(err, io.EOF):
+			// Reached everything spooled. Flush the wire, then try to
+			// flip live: under s.mu no new sequence can be assigned,
+			// so sent == s.seq means the ring takes over gaplessly.
+			if ferr := bw.Flush(); ferr != nil {
+				s.detach(sess, gen)
+				return false
+			}
+			lastFlush = time.Now()
+			s.mu.Lock()
+			sess.mu.Lock()
+			if sess.gen != gen || sess.gone {
+				sess.mu.Unlock()
+				s.mu.Unlock()
+				return false
+			}
+			if s.seq == sess.sent {
+				sess.catchup = false
+				sess.base = sess.sent
+				sess.head, sess.n = 0, 0
+				sess.mu.Unlock()
+				s.mu.Unlock()
+				return true
+			}
+			s.mu.Unlock()
+			if s.spoolBroken.Load() {
+				// The feed ran ahead of a dead spool: this gap can
+				// never be served. Loud loss.
+				sess.mu.Unlock()
+				log.Printf("stream: session %s stranded mid-catch-up by spool failure", sess.id)
+				s.evict(sess)
+				return false
+			}
+			// More was broadcast while we flushed; wait for the spool
+			// to show it (feedSeq advances after the spool append).
+			for sess.gen == gen && !sess.closing && !sess.gone && sess.feedSeq <= sess.sent {
+				sess.cond.Wait()
+			}
+			stale := sess.gen != gen || sess.gone
+			sess.mu.Unlock()
+			if stale {
+				return false
+			}
+			continue
+		case err != nil:
+			log.Printf("stream: session %s catch-up read failed: %v", sess.id, err)
+			s.evict(sess)
+			return false
+		}
+
+		sess.mu.Lock()
+		if sess.gen != gen || sess.gone {
+			sess.mu.Unlock()
+			return false
+		}
+		sess.sent = first + uint64(len(evs)) - 1
+		sess.mu.Unlock()
+
+		payload = appendBatchFrame(payload[:0], first, evs)
+		if err := writeFrame(bw, payload); err != nil {
+			s.detach(sess, gen)
+			return false
+		}
+		if time.Since(lastFlush) >= s.opt.flushEvery {
+			if err := bw.Flush(); err != nil {
+				s.detach(sess, gen)
+				return false
+			}
+			lastFlush = time.Now()
+		}
+		scratch = evs[:0]
+	}
+}
+
 // Stats returns a snapshot of feed accounting, including per-session
-// subscriber lag.
+// subscriber lag and disk-tier bounds.
 func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
 	seq := s.seq
@@ -548,6 +904,7 @@ func (s *Server) Stats() ServerStats {
 		st := SessionStats{
 			ID:        sess.id,
 			Connected: sess.conn != nil,
+			CatchUp:   sess.catchup,
 			Acked:     sess.acked,
 			Buffered:  sess.n,
 			Window:    len(sess.ring),
@@ -568,13 +925,23 @@ func (s *Server) Stats() ServerStats {
 		}
 		return per[i].ID < per[j].ID
 	})
-	return ServerStats{
+	st := ServerStats{
 		Broadcast:  seq,
 		Delivered:  s.delivered.Load(),
 		Sessions:   len(per),
 		Evicted:    s.evicted.Load(),
 		PerSession: per,
 	}
+	if s.opt.spool != nil {
+		st.SpoolFirst = s.opt.spool.First()
+		st.SpoolEnd = s.opt.spool.End()
+		s.spoolErrMu.Lock()
+		if s.spoolErr != nil {
+			st.SpoolErr = s.spoolErr.Error()
+		}
+		s.spoolErrMu.Unlock()
+	}
+	return st
 }
 
 // NumClients returns the number of currently connected subscribers
@@ -596,7 +963,8 @@ func (s *Server) NumClients() int {
 // Close stops accepting, drains every connected subscriber's remaining
 // window (bounded by the drain timeout), sends each an eof frame, and
 // waits for all connection goroutines to finish. All Broadcast calls
-// must have returned.
+// must have returned. The spool, if any, is not closed — it belongs
+// to the caller and outlives the server.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closing {
@@ -613,9 +981,11 @@ func (s *Server) Close() error {
 			sess.conn.SetWriteDeadline(time.Now().Add(s.opt.drain))
 			sess.cond.Broadcast() // writer: drain, eof, exit
 		} else {
-			// Nothing to drain to; the window dies with the server.
+			// Nothing to drain to; the window dies with the server
+			// (but spooled events survive on disk for a restarted
+			// producer).
 			sess.gone = true
-			if sess.n > 0 {
+			if (sess.n > 0 || (sess.catchup && sess.acked < sess.feedSeq)) && !s.spoolUsable() {
 				s.evicted.Add(1)
 			}
 			delete(s.sessions, id)
@@ -628,9 +998,10 @@ func (s *Server) Close() error {
 	for id, sess := range s.sessions {
 		// Anything still buffered here died undelivered (e.g. the
 		// drain deadline cut off a stalled subscriber): that is loss,
-		// and loss is always counted.
+		// and loss is always counted — unless the spool still holds
+		// it for a future resume against a restarted producer.
 		sess.mu.Lock()
-		if sess.n > 0 {
+		if (sess.n > 0 || (sess.catchup && sess.acked < sess.feedSeq)) && !s.spoolUsable() {
 			s.evicted.Add(1)
 		}
 		sess.gone = true

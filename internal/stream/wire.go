@@ -1,20 +1,19 @@
 package stream
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
-	"strconv"
 
 	"sybilwild/internal/osn"
-	"sybilwild/internal/sim"
+	"sybilwild/internal/wire"
 )
 
-// This file is the v2 wire protocol: framing, the frame vocabulary,
-// and the batch codec. The full specification (handshake, sequence
-// and ack semantics, resume rules) lives in docs/ARCHITECTURE.md; the
-// shapes here are the normative encoding.
+// This file is the v2 wire protocol's frame vocabulary. The framing
+// and the batch codec live one layer down in internal/wire (shared
+// with the disk spool, whose segments hold byte-identical frames); the
+// full specification — handshake, sequence and ack semantics, resume
+// rules — is in docs/ARCHITECTURE.md.
 //
 // Every frame is a 4-byte big-endian payload length followed by a
 // JSON object. The object's "t" field names the frame type:
@@ -46,7 +45,7 @@ const (
 
 // frame is the JSON form of every control frame. Batch frames use the
 // same shape but are encoded and decoded on a hand-rolled hot path
-// (appendBatchFrame / parseBatchFrame); the struct remains their
+// (wire.AppendBatch / wire.ParseBatch); the struct remains their
 // fallback and interop form.
 type frame struct {
 	T       string      `json:"t"`
@@ -60,20 +59,14 @@ type frame struct {
 	Events  []WireEvent `json:"events,omitempty"`
 }
 
-// maxFrameSize bounds a single frame; a reader rejects anything
-// larger rather than trusting a corrupt length prefix.
-const maxFrameSize = 16 << 20
+// WireEvent is the JSON wire form of an osn.Event.
+type WireEvent = wire.Event
+
+// FromOSN converts an event to wire form.
+func FromOSN(ev osn.Event) WireEvent { return wire.FromOSN(ev) }
 
 // writeFrame emits one length-prefixed frame payload.
-func writeFrame(w io.Writer, payload []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
-	return err
-}
+func writeFrame(w io.Writer, payload []byte) error { return wire.WriteFrame(w, payload) }
 
 // writeControl marshals and emits a control frame.
 func writeControl(w io.Writer, f frame) error {
@@ -86,252 +79,19 @@ func writeControl(w io.Writer, f frame) error {
 
 // readFrame reads one length-prefixed payload, reusing buf when it is
 // large enough. The returned slice is only valid until the next call.
-func readFrame(r io.Reader, buf []byte) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrameSize {
-		return nil, fmt.Errorf("stream: frame of %d bytes exceeds limit", n)
-	}
-	if cap(buf) < int(n) {
-		buf = make([]byte, n)
-	}
-	buf = buf[:n]
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
-	}
-	return buf, nil
-}
-
-// WireEvent is the JSON wire form of an osn.Event.
-type WireEvent struct {
-	Type   string `json:"type"`
-	At     int64  `json:"at"`
-	Actor  int32  `json:"actor"`
-	Target int32  `json:"target"`
-	Aux    int32  `json:"aux,omitempty"`
-}
-
-// FromOSN converts an event to wire form.
-func FromOSN(ev osn.Event) WireEvent {
-	return WireEvent{
-		Type:   ev.Type.String(),
-		At:     ev.At,
-		Actor:  int32(ev.Actor),
-		Target: int32(ev.Target),
-		Aux:    ev.Aux,
-	}
-}
-
-// eventTypeFromString inverts osn.EventType.String. Taking []byte lets
-// the batch fast path switch without allocating a string per event.
-func eventTypeFromString[S string | []byte](s S) (osn.EventType, error) {
-	switch string(s) {
-	case "friend_request":
-		return osn.EvFriendRequest, nil
-	case "friend_accept":
-		return osn.EvFriendAccept, nil
-	case "friend_reject":
-		return osn.EvFriendReject, nil
-	case "message":
-		return osn.EvMessage, nil
-	case "ban":
-		return osn.EvBan, nil
-	case "blog_post":
-		return osn.EvBlogPost, nil
-	case "blog_share":
-		return osn.EvBlogShare, nil
-	default:
-		return 0, fmt.Errorf("stream: unknown event type %q", s)
-	}
-}
-
-// ToOSN converts back from wire form.
-func (w WireEvent) ToOSN() (osn.Event, error) {
-	typ, err := eventTypeFromString(w.Type)
-	if err != nil {
-		return osn.Event{}, err
-	}
-	return osn.Event{
-		Type:   typ,
-		At:     sim.Time(w.At),
-		Actor:  osn.AccountID(w.Actor),
-		Target: osn.AccountID(w.Target),
-		Aux:    w.Aux,
-	}, nil
-}
-
-// --- batch hot path ---
-//
-// Batch frames dominate feed traffic, so both directions avoid
-// encoding/json reflection. appendBatchFrame emits the canonical
-// encoding; parseBatchFrame accepts exactly that canonical encoding
-// and reports !ok on anything else, in which case the caller reparses
-// with encoding/json (parseBatchSlow). Either way the decoded events
-// are identical — TestBatchCodecAgreesWithJSON holds the two paths
-// together.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) { return wire.ReadFrame(r, buf) }
 
 // appendBatchFrame appends the canonical JSON batch frame for events
 // with first sequence seq to dst and returns the extended slice.
 func appendBatchFrame(dst []byte, seq uint64, events []osn.Event) []byte {
-	dst = append(dst, `{"t":"batch","seq":`...)
-	dst = strconv.AppendUint(dst, seq, 10)
-	dst = append(dst, `,"events":[`...)
-	for i, ev := range events {
-		if i > 0 {
-			dst = append(dst, ',')
-		}
-		dst = append(dst, `{"type":"`...)
-		dst = append(dst, ev.Type.String()...)
-		dst = append(dst, `","at":`...)
-		dst = strconv.AppendInt(dst, ev.At, 10)
-		dst = append(dst, `,"actor":`...)
-		dst = strconv.AppendInt(dst, int64(int32(ev.Actor)), 10)
-		dst = append(dst, `,"target":`...)
-		dst = strconv.AppendInt(dst, int64(int32(ev.Target)), 10)
-		if ev.Aux != 0 {
-			dst = append(dst, `,"aux":`...)
-			dst = strconv.AppendInt(dst, int64(ev.Aux), 10)
-		}
-		dst = append(dst, '}')
-	}
-	dst = append(dst, ']', '}')
-	return dst
-}
-
-// batchCursor walks a canonical batch payload.
-type batchCursor struct {
-	b []byte
-	i int
-}
-
-func (c *batchCursor) lit(s string) bool {
-	if c.i+len(s) > len(c.b) || string(c.b[c.i:c.i+len(s)]) != s {
-		return false
-	}
-	c.i += len(s)
-	return true
-}
-
-func (c *batchCursor) uint() (uint64, bool) {
-	start := c.i
-	var v uint64
-	for c.i < len(c.b) && c.b[c.i] >= '0' && c.b[c.i] <= '9' {
-		v = v*10 + uint64(c.b[c.i]-'0')
-		c.i++
-	}
-	return v, c.i > start
-}
-
-func (c *batchCursor) int() (int64, bool) {
-	neg := false
-	if c.i < len(c.b) && c.b[c.i] == '-' {
-		neg = true
-		c.i++
-	}
-	v, ok := c.uint()
-	if !ok {
-		return 0, false
-	}
-	if neg {
-		return -int64(v), true
-	}
-	return int64(v), true
-}
-
-// str parses a canonical string value (no escapes) including both
-// quotes, returning the unquoted bytes.
-func (c *batchCursor) str() ([]byte, bool) {
-	if c.i >= len(c.b) || c.b[c.i] != '"' {
-		return nil, false
-	}
-	c.i++
-	start := c.i
-	for c.i < len(c.b) {
-		switch c.b[c.i] {
-		case '\\':
-			return nil, false // non-canonical; fall back
-		case '"':
-			s := c.b[start:c.i]
-			c.i++
-			return s, true
-		}
-		c.i++
-	}
-	return nil, false
+	return wire.AppendBatch(dst, seq, events)
 }
 
 // parseBatchFrame decodes a canonical batch payload into events
 // appended to dst. ok is false when the payload deviates from the
 // canonical form (the caller then falls back to encoding/json).
 func parseBatchFrame(payload []byte, dst []osn.Event) (seq uint64, evs []osn.Event, ok bool) {
-	c := batchCursor{b: payload}
-	if !c.lit(`{"t":"batch","seq":`) {
-		return 0, dst, false
-	}
-	seq, numOK := c.uint()
-	if !numOK || !c.lit(`,"events":[`) {
-		return 0, dst, false
-	}
-	evs = dst
-	for n := 0; ; n++ {
-		if c.lit(`]}`) {
-			break
-		}
-		if n > 0 && !c.lit(`,`) {
-			return 0, dst, false
-		}
-		if !c.lit(`{"type":`) {
-			return 0, dst, false
-		}
-		typStr, sOK := c.str()
-		if !sOK {
-			return 0, dst, false
-		}
-		typ, err := eventTypeFromString(typStr)
-		if err != nil {
-			return 0, dst, false
-		}
-		if !c.lit(`,"at":`) {
-			return 0, dst, false
-		}
-		at, aOK := c.int()
-		if !aOK || !c.lit(`,"actor":`) {
-			return 0, dst, false
-		}
-		actor, acOK := c.int()
-		if !acOK || !c.lit(`,"target":`) {
-			return 0, dst, false
-		}
-		target, tOK := c.int()
-		if !tOK {
-			return 0, dst, false
-		}
-		var aux int64
-		if c.lit(`,"aux":`) {
-			var xOK bool
-			aux, xOK = c.int()
-			if !xOK {
-				return 0, dst, false
-			}
-		}
-		if !c.lit(`}`) {
-			return 0, dst, false
-		}
-		evs = append(evs, osn.Event{
-			Type:   typ,
-			At:     sim.Time(at),
-			Actor:  osn.AccountID(int32(actor)),
-			Target: osn.AccountID(int32(target)),
-			Aux:    int32(aux),
-		})
-	}
-	if c.i != len(payload) {
-		return 0, dst, false
-	}
-	return seq, evs, true
+	return wire.ParseBatch(payload, dst)
 }
 
 // parseBatchSlow is the encoding/json fallback for batch payloads from

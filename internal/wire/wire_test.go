@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"sybilwild/internal/osn"
+)
+
+// TestFrameRoundTrip: WriteFrame and AppendFrame must produce the
+// same bytes, and ReadFrame must invert both.
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte(`{"t":"batch","seq":7,"events":[]}`)
+	var viaWriter bytes.Buffer
+	if err := WriteFrame(&viaWriter, payload); err != nil {
+		t.Fatal(err)
+	}
+	viaAppend := AppendFrame(nil, payload)
+	if !bytes.Equal(viaWriter.Bytes(), viaAppend) {
+		t.Fatalf("WriteFrame and AppendFrame disagree:\n%q\n%q", viaWriter.Bytes(), viaAppend)
+	}
+	got, err := ReadFrame(bytes.NewReader(viaAppend), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: %q, want %q", got, payload)
+	}
+}
+
+// TestReadFrameRejectsOversizedLength: a corrupt length prefix must
+// fail loudly instead of allocating gigabytes.
+func TestReadFrameRejectsOversizedLength(t *testing.T) {
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(hdr), nil); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+}
+
+// TestBatchCodecRoundTrip exercises the canonical encode/decode pair
+// directly (the transport's fallback-agreement test lives in
+// internal/stream; the spool has no fallback, so the strict path must
+// stand on its own).
+func TestBatchCodecRoundTrip(t *testing.T) {
+	events := []osn.Event{
+		{Type: osn.EvFriendRequest, At: 0, Actor: 1, Target: 2},
+		{Type: osn.EvFriendAccept, At: -5, Actor: 3, Target: 4, Aux: 9},
+		{Type: osn.EvBan, At: 1 << 40, Actor: -7, Target: 0},
+	}
+	payload := AppendBatch(nil, 42, events)
+	seq, got, ok := ParseBatch(payload, nil)
+	if !ok {
+		t.Fatalf("canonical payload rejected: %s", payload)
+	}
+	if seq != 42 || len(got) != len(events) {
+		t.Fatalf("seq=%d n=%d, want 42/%d", seq, len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v, want %+v", i, got[i], events[i])
+		}
+	}
+	if _, _, ok := ParseBatch(payload[:len(payload)-1], nil); ok {
+		t.Fatal("truncated payload accepted")
+	}
+}
