@@ -6,8 +6,8 @@ GO ?= go
 # Output file for bench-json; bump the number each PR that refreshes
 # the committed perf baseline. BENCH_BASE is the previous PR's
 # committed baseline that the fresh run is diffed against.
-BENCH_OUT ?= BENCH_4.json
-BENCH_BASE ?= BENCH_3.json
+BENCH_OUT ?= BENCH_5.json
+BENCH_BASE ?= BENCH_4.json
 
 # Pinned staticcheck release; CI and local runs must agree on the
 # check set, so bump this deliberately, not implicitly.

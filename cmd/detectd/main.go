@@ -25,7 +25,11 @@
 // -spool-dir) the resume succeeds from any retained sequence — a cold
 // start from an arbitrarily stale checkpoint replays from segment
 // files, far past the feed's in-memory replay window. SIGINT/SIGTERM
-// write a final checkpoint and close the pipeline cleanly.
+// write a final checkpoint and close the pipeline cleanly. With
+// -from-start a brand-new daemon (no checkpoint) instead backfills
+// the feed's entire spooled history from sequence 1 before flipping
+// live — useful against a streamd broker whose campaign is already
+// streaming or complete.
 //
 // Usage:
 //
@@ -79,6 +83,7 @@ func main() {
 		ccMax      = flag.Float64("cc", 0.05, "max first-50-friends clustering coefficient")
 		minObs     = flag.Int("min-requests", 10, "requests observed before judging")
 		retries    = flag.Int("retries", 10, "max consecutive reconnect attempts")
+		fromStart  = flag.Bool("from-start", false, "backfill the feed from sequence 1 (the server's spool must retain it) instead of joining at the live head; ignored when a checkpoint already pins the resume point")
 		checkEvery = flag.Int("check-every", 5, "evaluate an account every Nth request it sends")
 		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "detection pipeline shards")
 		ckptDir    = flag.String("checkpoint-dir", "", "directory for pipeline checkpoints (empty: stateless)")
@@ -149,6 +154,12 @@ func main() {
 		// accept event is an edge creation) and fans events out to the
 		// shard owning each account.
 		d.p = detector.NewPipeline(rule, nil, opts...)
+		if *fromStart {
+			// Replay the feed's whole history (spool-served) before
+			// going live — a brand-new detector catching up on a
+			// campaign that already streamed.
+			d.resume = 1
+		}
 	}
 	fmt.Printf("rule: %v\nsubscribing to %s (%d shards)\n", rule, *addr, *shards)
 
@@ -206,13 +217,24 @@ func (d *daemon) run(addr string, maxRetries int, every time.Duration, maxLag ui
 		}
 		var c *stream.Client
 		var err error
-		if d.session == "" {
-			c, err = stream.Dial(addr)
-		} else {
+		switch {
+		case d.session != "":
 			c, err = stream.DialResume(addr, d.session, d.resume)
+		case d.resume > 0:
+			// -from-start backfill: a fresh session that asks for the
+			// feed's history (spool-served) before flipping live.
+			c, err = stream.DialFrom(addr, d.resume)
+		default:
+			c, err = stream.Dial(addr)
 		}
 		if err != nil {
 			if errors.Is(err, stream.ErrGap) {
+				if d.session == "" {
+					// The -from-start backfill was refused: there is no
+					// stale local state, the feed just doesn't retain the
+					// requested history.
+					return fmt.Errorf("feed cannot serve the -from-start backfill (history pruned or not spooled) — raise the feed's spool retention or drop -from-start: %w", err)
+				}
 				return fmt.Errorf("feed lost our resume window — state is stale, remove the checkpoint dir to rebuild from scratch: %w", err)
 			}
 			consecutive++

@@ -21,10 +21,28 @@
 // campaign, drains every subscriber's replay window, and exits with a
 // sent-vs-delivered accounting line.
 //
+// With -publish the process is a producer instead of a server: it
+// dials a streamd broker and publishes its share of the simulated
+// population over the publish sub-protocol. -producers K and
+// -producer-index i split the campaign across K such processes — each
+// runs the full deterministic simulation from the shared -seed but
+// publishes only the actors that hash-partition to its index, so the
+// K processes jointly emit exactly the event set one process would.
+// A publish-mode process that is killed and restarted resumes
+// exactly-once: the broker reports how many of its events are already
+// sequenced and the regenerated deterministic stream skips that
+// prefix. -maxrate is interpreted as the target rate of the whole
+// producer group: each process paces at maxrate/K so K producers do
+// not overdrive the broker at K times the requested rate.
+//
 // Usage:
 //
 //	renrend -addr 127.0.0.1:7474 -normals 6000 -sybils 80 -hours 400 \
 //	        -spool-dir /var/lib/renrend/spool -spool-retain 1073741824
+//
+//	# or, as one of three producers feeding a streamd broker:
+//	renrend -publish 127.0.0.1:7474 -producers 3 -producer-index 1 \
+//	        -normals 6000 -sybils 80 -hours 400
 package main
 
 import (
@@ -50,8 +68,13 @@ func main() {
 		sybils  = flag.Int("sybils", 80, "Sybil accounts")
 		hours   = flag.Int64("hours", 400, "observation window (hours)")
 		wait    = flag.Duration("wait", 30*time.Second, "max wait for a first subscriber")
-		maxRate = flag.Int("maxrate", 0, "max events/second streamed (0 = unlimited); v2 backpressure already paces slow subscribers, set this only to smooth bursts")
+		maxRate = flag.Int("maxrate", 0, "max events/second streamed (0 = unlimited); v2 backpressure already paces slow subscribers, set this only to smooth bursts. In publish mode this is the whole producer group's rate: each process paces at maxrate/producers")
 		window  = flag.Int("window", stream.DefaultReplayBuffer, "per-subscriber in-memory replay window in events; with a spool, tiny windows stay safe (overflow falls back to disk)")
+
+		publish    = flag.String("publish", "", "publish into a streamd broker at this address instead of serving subscribers (disables -addr/-wait/-window/-spool-*)")
+		producers  = flag.Int("producers", 1, "size of the producer group jointly generating the campaign (publish mode)")
+		prodIndex  = flag.Int("producer-index", 0, "this process's partition index in [0, producers) (publish mode)")
+		producerID = flag.String("producer-id", "", "producer id registered with the broker (default: p<producer-index>)")
 
 		spoolDir     = flag.String("spool-dir", "", "directory for the disk feed spool (empty: memory-only replay windows)")
 		spoolSegment = flag.Int64("spool-segment-bytes", spool.DefaultSegmentBytes, "segment file size before rolling (fsync on roll)")
@@ -59,6 +82,12 @@ func main() {
 		spoolAge     = flag.Duration("spool-segment-age", 0, "also roll the active segment after this age (0 = size-only rolling)")
 	)
 	flag.Parse()
+
+	if *publish != "" {
+		runPublisher(*publish, *producerID, *producers, *prodIndex,
+			*seed, *normals, *sybils, *hours, *maxRate)
+		return
+	}
 
 	opts := []stream.ServerOption{stream.WithReplayBuffer(*window)}
 	var sp *spool.Spool
@@ -142,4 +171,77 @@ func main() {
 		}
 		fmt.Println(line)
 	}
+}
+
+// runPublisher is publish mode: run the full deterministic simulation
+// and publish this process's actor partition into a streamd broker.
+// Exactly-once across kill -9 rides on determinism — the broker
+// reports how many of this producer's events are already sequenced,
+// and the regenerated stream skips exactly that prefix (at full
+// speed: pacing starts at the first freshly published event).
+func runPublisher(addr, id string, group, index int, seed int64, normals, sybils int, hours int64, maxRate int) {
+	if index < 0 || index >= group {
+		log.Fatalf("-producer-index %d out of range [0, %d)", index, group)
+	}
+	if id == "" {
+		id = fmt.Sprintf("p%d", index)
+	}
+	pub, err := stream.NewPublisher(addr, id, group)
+	if err != nil {
+		log.Fatal(err)
+	}
+	skip := pub.SkipEvents()
+	fmt.Printf("registered as producer %s (%d of %d), epoch %d\n", id, index, group, pub.Epoch())
+	if skip > 0 {
+		fmt.Printf("broker already holds %d of our events; regenerating and skipping that prefix\n", skip)
+	}
+	// -maxrate is the producer group's aggregate budget; this process
+	// paces its own share so K producers sum to roughly maxrate.
+	rate := 0
+	if maxRate > 0 {
+		rate = maxRate / group
+		if rate < 1 {
+			rate = 1
+		}
+	}
+
+	pop := agents.NewPopulation(seed, agents.DefaultParams())
+	pop.Net.SetKeepLog(false) // observers only; no need to retain
+	var seen, published uint64
+	var paceStart time.Time
+	pop.Net.RegisterObserver(func(ev osn.Event) {
+		if stream.PartitionActor(ev.Actor, group) != index {
+			return
+		}
+		seen++
+		if seen <= skip {
+			return // a predecessor process already published this prefix
+		}
+		if err := pub.Publish(ev); err != nil {
+			log.Fatalf("publish: %v", err)
+		}
+		published++
+		if rate > 0 {
+			if published == 1 {
+				paceStart = time.Now()
+			}
+			if published%1024 == 0 {
+				// Simple token pacing: never exceed rate on average.
+				need := time.Duration(published) * time.Second / time.Duration(rate)
+				if elapsed := time.Since(paceStart); elapsed < need {
+					time.Sleep(need - elapsed)
+				}
+			}
+		}
+	})
+	pop.Bootstrap(normals)
+	pop.LaunchSybils(sybils, hours/4*sim.TicksPerHour)
+	pop.RunFor(hours * sim.TicksPerHour)
+	if err := pub.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
+	st := pub.Stats()
+	fmt.Println(pop.Stats())
+	fmt.Printf("producer %s: published %d events in %d batches (skipped %d already-durable), acked through batch %d, %d batches resent\n",
+		id, st.Events, st.Batches, skip, st.Acked, st.Resent)
 }

@@ -1,0 +1,175 @@
+// Command streamd is the standalone feed broker: it owns the stream
+// server that renrend used to embed, admitting any number of wire
+// producers (renrend -publish) on one side and feed subscribers
+// (detectd) on the other. Producer batches are merged by a single
+// global sequencer into one totally ordered feed — the topology the
+// paper's measurement ran against, where Renren's behavioral logs
+// arrived from many frontend sources at once.
+//
+// Producers speak the publish sub-protocol: each registers with a
+// producer id and the size of its producer group, publishes batches
+// numbered by a per-producer sequence (so reconnect resends
+// deduplicate), and closes its epoch with peof. The broker holds the
+// downstream eof until every producer in the group has closed, then
+// drains each subscriber's replay window and exits with the
+// sent-vs-delivered audit aggregated across producers.
+//
+// With -spool-dir the merged feed also persists to segment files, so
+// a subscriber may backfill the entire campaign from sequence 1
+// (detectd -from-start) or cold-start from a stale checkpoint far
+// past the in-memory window — regardless of which producer each
+// event came from.
+//
+// Usage:
+//
+//	streamd -addr 127.0.0.1:7474 -spool-dir /var/lib/streamd/spool
+//	renrend -publish 127.0.0.1:7474 -producers 3 -producer-index 0 &
+//	renrend -publish 127.0.0.1:7474 -producers 3 -producer-index 1 &
+//	renrend -publish 127.0.0.1:7474 -producers 3 -producer-index 2 &
+//	detectd -addr 127.0.0.1:7474
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"sybilwild/internal/spool"
+	"sybilwild/internal/stream"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("streamd: ")
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7474", "listen address (producers and subscribers)")
+		wait   = flag.Duration("wait", 5*time.Minute, "max wait for the first producer to register")
+		linger = flag.Duration("linger", 0, "keep serving subscribers this long after the last producer closes, so late consumers can still backfill the spooled campaign (detectd -from-start) before the broker drains and exits")
+		window = flag.Int("window", stream.DefaultReplayBuffer, "per-subscriber in-memory replay window in events; with a spool, tiny windows stay safe (overflow falls back to disk)")
+
+		spoolDir     = flag.String("spool-dir", "", "directory for the disk feed spool (empty: memory-only replay windows)")
+		spoolSegment = flag.Int64("spool-segment-bytes", spool.DefaultSegmentBytes, "segment file size before rolling (fsync on roll)")
+		spoolRetain  = flag.Int64("spool-retain", 0, "spool retention budget in bytes (0 = keep everything); pruning never passes the lowest subscriber ack")
+		spoolAge     = flag.Duration("spool-segment-age", 0, "also roll the active segment after this age (0 = size-only rolling)")
+		statsEvery   = flag.Duration("stats-every", 10*time.Second, "interval between ingest progress lines (0 = silent until completion)")
+	)
+	flag.Parse()
+
+	opts := []stream.ServerOption{stream.WithReplayBuffer(*window)}
+	var sp *spool.Spool
+	if *spoolDir != "" {
+		var err error
+		sp, err = spool.Open(*spoolDir,
+			spool.WithSegmentBytes(*spoolSegment),
+			spool.WithRetainBytes(*spoolRetain),
+			spool.WithSegmentAge(*spoolAge))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sp.Close()
+		opts = append(opts, stream.WithSpool(sp))
+		if st := sp.Stats(); st.End > 0 {
+			fmt.Printf("spool %s: resuming log at seq %d (%d segments, %d bytes retained from seq %d)\n",
+				*spoolDir, st.End+1, st.Segments, st.Bytes, st.First)
+		}
+	}
+
+	srv, err := stream.NewServer(*addr, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("broker on %s; waiting up to %v for a producer\n", srv.Addr(), *wait)
+
+	deadline := time.Now().Add(*wait)
+	for len(srv.Stats().PerProducer) == 0 {
+		if time.Now().After(deadline) {
+			log.Fatal("no producer registered; exiting")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Serve until every producer in the registered group closes its
+	// epoch, narrating ingest progress.
+	tick := time.NewTicker(statsInterval(*statsEvery))
+	defer tick.Stop()
+	for done := false; !done; {
+		select {
+		case <-srv.IngestDone():
+			done = true
+		case <-tick.C:
+			if *statsEvery > 0 {
+				printProgress(srv)
+			}
+		}
+	}
+
+	if *linger > 0 {
+		fmt.Printf("all producer epochs closed; serving subscribers for another %v\n", *linger)
+		time.Sleep(*linger)
+	}
+	st := srv.Stats()
+	fmt.Println("all producer epochs closed; draining subscriber replay windows")
+	printProducers(st)
+	for _, ss := range st.PerSession {
+		state := "connected"
+		if !ss.Connected {
+			state = "detached"
+		}
+		if ss.CatchUp {
+			state += ", disk catch-up"
+		}
+		fmt.Printf("session %s (%s): behind=%d window=%d/%d (%.0f%% full)\n",
+			ss.ID, state, ss.Behind, ss.Buffered, ss.Window, 100*ss.Fill)
+	}
+	srv.Close() // blocks until every subscriber drained (or the drain timeout cut it off)
+	st = srv.Stats()
+	fmt.Printf("sent=%d delivered=%d sessions_evicted=%d\n", st.Broadcast, st.Delivered, st.Evicted)
+	if sp != nil {
+		sst := sp.Stats()
+		line := fmt.Sprintf("spool: %d segments, %d bytes, seqs %d-%d retained", sst.Segments, sst.Bytes, sst.First, sst.End)
+		if st.SpoolErr != "" {
+			line += " (DISK TIER FAILED: " + st.SpoolErr + ")"
+		}
+		fmt.Println(line)
+	}
+}
+
+func statsInterval(d time.Duration) time.Duration {
+	if d <= 0 {
+		return time.Hour
+	}
+	return d
+}
+
+// printProgress is the periodic one-liner: global sequence plus each
+// producer's contribution.
+func printProgress(srv *stream.Server) {
+	st := srv.Stats()
+	line := fmt.Sprintf("seq=%d subscribers=%d:", st.Broadcast, st.Sessions)
+	for _, ps := range st.PerProducer {
+		state := ""
+		if ps.EOF {
+			state = " eof"
+		} else if !ps.Connected {
+			state = " detached"
+		}
+		line += fmt.Sprintf(" %s=%d%s", ps.ID, ps.Events, state)
+	}
+	fmt.Println(line)
+}
+
+// printProducers is the end-of-feed per-producer audit, aggregated
+// across epochs (a restarted producer's counts accumulate).
+func printProducers(st stream.ServerStats) {
+	var events, drops uint64
+	for _, ps := range st.PerProducer {
+		fmt.Printf("producer %s: epoch=%d batches=%d events=%d dedupe_drops=%d\n",
+			ps.ID, ps.Epoch, ps.Batches, ps.Events, ps.DedupeDrops)
+		events += ps.Events
+		drops += ps.DedupeDrops
+	}
+	fmt.Printf("ingest: %d events from %d producers (%d replayed batches deduped)\n",
+		events, len(st.PerProducer), drops)
+}

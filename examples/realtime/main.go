@@ -1,26 +1,32 @@
-// Command realtime runs the deployed architecture in one process — an
-// OSN simulation streaming its operational log over the v2 TCP feed
-// (renrend's role) and a sharded concurrent detection pipeline
-// consuming the feed at batch granularity, reconstructing the graph,
-// and flagging Sybils live (detectd's role). The OSN side uses
-// osn.FanOut to drive two consumers off one observer registration:
-// the wire broadcaster and an in-process serial Monitor that
-// cross-checks the pipeline's verdicts.
+// Command realtime runs the deployed multi-producer architecture in
+// one process: a stream broker (streamd's role), three producers each
+// running the same seeded OSN simulation and publishing their
+// hash-partitioned share of the operational log over the publish
+// sub-protocol (renrend -publish's role), and a sharded concurrent
+// detection pipeline consuming the merged feed at batch granularity,
+// reconstructing the graph, and flagging Sybils live (detectd's
+// role). Producer 0 also drives an in-process serial Monitor off its
+// simulation — which generates the full event set; each producer only
+// *publishes* its partition — to cross-check the pipeline's verdicts.
 //
-// The v2 feed is at-least-once, so the run ends with an ack-based
-// audit instead of v1's dropped-events counter. Expected output
-// (exact counts vary with GOMAXPROCS-dependent interleaving):
+// The broker merges the three producer streams through one global
+// sequencer, holds the downstream eof until all three have closed
+// their epochs, and the run ends with the ack-based delivery audit
+// aggregated across producers. Expected output (exact counts vary
+// with GOMAXPROCS-dependent interleaving):
 //
 //	event feed on 127.0.0.1:NNNNN
 //	streamed campaign: accounts=3040 (normal=3000 sybil=40) edges=~35000 events=~100000
+//	producer p0: epoch=1 events=~33000 | p1: ... | p2: ...
 //	flagged over the wire (N shards): 39 sybils (of 40), 0 normals (of 3000)
 //	serial in-process monitor flagged 39 for comparison
 //	feed audit: sent=99535 delivered=99535 (100.0%) evicted_sessions=0
 //
 // The audit line is the delivery contract made visible: delivered
-// equals sent (every broadcast event was consumed and acknowledged by
-// the subscriber) and no session was evicted, i.e. the wire lost
-// nothing even when the pipeline briefly lagged the simulation.
+// equals sent (every event from every producer was sequenced once and
+// acknowledged by the subscriber) and no session was evicted — the
+// wire lost nothing even with three concurrent publishers racing the
+// pipeline.
 package main
 
 import (
@@ -33,6 +39,13 @@ import (
 	"sybilwild/internal/osn"
 	"sybilwild/internal/sim"
 	"sybilwild/internal/stream"
+)
+
+const (
+	producers = 3
+	seed      = 3
+	normals   = 3000
+	sybils    = 40
 )
 
 func main() {
@@ -52,47 +65,89 @@ func main() {
 	pipe := detector.NewPipeline(rule, nil,
 		detector.WithShards(shards),
 		detector.WithGraphReconstruction())
-	var wg sync.WaitGroup
-	wg.Add(1)
+	var subWG sync.WaitGroup
+	subWG.Add(1)
 	go func() {
-		defer wg.Done()
+		defer subWG.Done()
 		if err := stream.SubscribeBatch(srv.Addr(), pipe.ObserveBatch, 5); err != nil {
 			fmt.Println("subscriber error:", err)
 		}
 		pipe.Close()
 	}()
 
-	// --- OSN side (cmd/renrend in production): one observer hook fans
-	// out to the feed broadcaster and a local serial reference monitor.
-	pop := agents.NewPopulation(3, agents.DefaultParams())
-	monitor := detector.NewMonitor(rule, pop.Net.Graph(), nil)
-	pop.Net.RegisterObserver(osn.FanOut(
-		func(ev osn.Event) { srv.Broadcast(ev) },
-		// The monitor only consumes the friend-request lifecycle;
-		// filtering here skips the feed events at the dispatch layer.
-		osn.FilterTypes(monitor.Observe,
-			osn.EvFriendRequest, osn.EvFriendAccept, osn.EvFriendReject),
-	))
-	pop.Bootstrap(3000)
-	pop.LaunchSybils(40, 100*sim.TicksPerHour)
-	pop.RunFor(400 * sim.TicksPerHour)
-	srv.Close() // end of feed: drains the replay window, then eof
-	wg.Wait()
+	// --- producer side (renrend -publish in production): three
+	// processes each run the full deterministic simulation and publish
+	// only the actors that hash-partition to their index; the broker's
+	// sequencer merges them into one totally ordered feed. Producer 0
+	// doubles as the reference: its simulation sees every event, so it
+	// drives the serial cross-check monitor too.
+	var monitor *detector.Monitor
+	var pop0 *agents.Population
+	var prodWG sync.WaitGroup
+	for pi := 0; pi < producers; pi++ {
+		prodWG.Add(1)
+		go func(pi int) {
+			defer prodWG.Done()
+			pub, err := stream.NewPublisher(srv.Addr(), fmt.Sprintf("p%d", pi), producers)
+			if err != nil {
+				panic(err)
+			}
+			pop := agents.NewPopulation(seed, agents.DefaultParams())
+			feed := func(ev osn.Event) {
+				if stream.PartitionActor(ev.Actor, producers) != pi {
+					return
+				}
+				if err := pub.Publish(ev); err != nil {
+					panic(err)
+				}
+			}
+			if pi == 0 {
+				pop0 = pop
+				monitor = detector.NewMonitor(rule, pop.Net.Graph(), nil)
+				// The monitor only consumes the friend-request
+				// lifecycle; filtering here skips the feed events at
+				// the dispatch layer.
+				pop.Net.RegisterObserver(osn.FanOut(feed,
+					osn.FilterTypes(monitor.Observe,
+						osn.EvFriendRequest, osn.EvFriendAccept, osn.EvFriendReject)))
+			} else {
+				pop.Net.RegisterObserver(feed)
+			}
+			pop.Bootstrap(normals)
+			pop.LaunchSybils(sybils, 100*sim.TicksPerHour)
+			pop.RunFor(400 * sim.TicksPerHour)
+			if err := pub.Close(); err != nil {
+				panic(err)
+			}
+		}(pi)
+	}
+	prodWG.Wait()
+	<-srv.IngestDone() // all three epochs closed
+	srv.Close()        // drain the subscriber's replay window, then eof
+	subWG.Wait()
 
 	// Score the pipeline's verdicts against ground truth.
 	tp, fp := 0, 0
 	for _, id := range pipe.FlaggedIDs() {
-		if pop.Net.Account(id).Kind == osn.Sybil {
+		if pop0.Net.Account(id).Kind == osn.Sybil {
 			tp++
 		} else {
 			fp++
 		}
 	}
-	fmt.Printf("streamed campaign: %s\n", pop.Stats())
-	fmt.Printf("flagged over the wire (%d shards): %d sybils (of %d), %d normals (of %d)\n",
-		shards, tp, len(pop.Sybils), fp, len(pop.Normals))
-	fmt.Printf("serial in-process monitor flagged %d for comparison\n", monitor.FlaggedCount())
 	st := srv.Stats()
+	fmt.Printf("streamed campaign: %s\n", pop0.Stats())
+	line := ""
+	for _, ps := range st.PerProducer {
+		if line != "" {
+			line += " | "
+		}
+		line += fmt.Sprintf("producer %s: epoch=%d events=%d", ps.ID, ps.Epoch, ps.Events)
+	}
+	fmt.Println(line)
+	fmt.Printf("flagged over the wire (%d shards): %d sybils (of %d), %d normals (of %d)\n",
+		shards, tp, len(pop0.Sybils), fp, len(pop0.Normals))
+	fmt.Printf("serial in-process monitor flagged %d for comparison\n", monitor.FlaggedCount())
 	pct := 0.0
 	if st.Broadcast > 0 {
 		pct = 100 * float64(st.Delivered) / float64(st.Broadcast)

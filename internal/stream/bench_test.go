@@ -3,6 +3,7 @@ package stream
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -310,4 +311,80 @@ func BenchmarkResumeFromDisk(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(got)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+}
+
+// BenchmarkPublishIngest measures the wire-fed broker end to end:
+// K publishers over loopback TCP, the global sequencer merging their
+// batches, one subscriber draining the totally ordered feed. The
+// 1-vs-4 comparison is the concurrent-producer path's price and
+// payoff: more producers mean more sequencer contention but also more
+// pipelined encode/transmit work feeding it.
+func BenchmarkPublishIngest(b *testing.B) {
+	ev := osn.Event{Type: osn.EvFriendRequest, At: 1, Actor: 2, Target: 3}
+	for _, producers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("producers=%d", producers), func(b *testing.B) {
+			srv, err := NewServer("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			sub, err := Dial(srv.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			done := make(chan int)
+			go func() {
+				n := 0
+				for {
+					evs, err := sub.RecvBatch()
+					if err != nil {
+						sub.Close()
+						done <- n
+						return
+					}
+					n += len(evs)
+				}
+			}()
+			per := b.N / producers
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for pi := 0; pi < producers; pi++ {
+				wg.Add(1)
+				go func(pi int) {
+					defer wg.Done()
+					pub, err := NewPublisher(srv.Addr(), fmt.Sprintf("p%d", pi), producers)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					n := per
+					if pi == 0 {
+						n += b.N % producers
+					}
+					for i := 0; i < n; i++ {
+						if err := pub.Publish(ev); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+					if err := pub.Close(); err != nil {
+						b.Error(err)
+					}
+				}(pi)
+			}
+			wg.Wait()
+			if !b.Failed() {
+				// Only wait for epoch closure when every producer got
+				// there; an errored producer never sends peof.
+				<-srv.IngestDone()
+			}
+			srv.Close() // drains the subscriber: delivery is part of the cost
+			got := <-done
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+			if !b.Failed() && got != b.N {
+				b.Fatalf("lost events: delivered %d of %d", got, b.N)
+			}
+		})
+	}
 }

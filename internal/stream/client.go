@@ -59,6 +59,26 @@ func Dial(addr string) (*Client, error) {
 	return dial(addr, newSessionID(), 0)
 }
 
+// DialFrom connects as a fresh subscriber that backfills history: the
+// feed starts at sequence from (DialFrom(addr, 1) replays the feed
+// from its beginning) and flips to live delivery once the backlog is
+// drained — served from the server's disk spool, so the feed is a
+// replayable log for new consumers, not only resumed ones. It returns
+// an error wrapping ErrGap when from is below the spool's retention
+// floor (or the server has no spool holding it).
+func DialFrom(addr string, from uint64) (*Client, error) {
+	if from == 0 {
+		return nil, errors.New("stream: DialFrom needs a sequence ≥ 1 (use Dial to start at the live head)")
+	}
+	c, err := dial(addr, newSessionID(), from)
+	if err != nil {
+		return nil, err
+	}
+	c.lastSeq = from - 1
+	c.acked = from - 1
+	return c, nil
+}
+
 // DialResume reconnects an existing session, asking the feed to
 // continue from sequence from (normally LastSeq()+1, with session and
 // the sequence taken from the previous Client). It returns an error

@@ -10,6 +10,16 @@
 // is at least once end to end (and exactly once through Subscribe,
 // which deduplicates on sequence numbers).
 //
+// The server is a producer-agnostic broker: events enter either via
+// in-process Broadcast calls or from any number of concurrent wire
+// producers speaking the publish sub-protocol (phello/pbatch/pack —
+// see publish.go and Publisher), all merged by one global sequencer
+// into the same totally ordered feed. Producer batches carry
+// per-producer sequence numbers so a reconnect's resends deduplicate,
+// epochs let a killed-and-restarted deterministic producer resume
+// exactly where the broker's log ends, and the downstream eof is
+// emitted only after every registered producer has closed its epoch.
+//
 // With WithSpool the replay path is two-tier: every broadcast batch
 // is also appended to a disk spool (internal/spool), and a resume the
 // in-memory window can no longer serve — a consumer that fell past
@@ -153,8 +163,14 @@ func WithSpool(sp *spool.Spool) ServerOption {
 }
 
 // Server broadcasts events to TCP subscribers with at-least-once
-// delivery. Broadcast and Close must not overlap; Broadcast itself is
-// safe for concurrent use.
+// delivery. Events enter the feed two ways, freely mixed: in-process
+// Broadcast calls, and wire producers speaking the publish
+// sub-protocol (see publish.go) — both run through the same global
+// sequencer, so the downstream feed is one totally ordered sequence
+// space regardless of how many producers feed it. Broadcast and Close
+// must not overlap (wire producers need no such care: a closing
+// sequencer refuses their batches); Broadcast itself is safe for
+// concurrent use.
 type Server struct {
 	ln  net.Listener
 	opt serverOptions
@@ -164,6 +180,12 @@ type Server struct {
 	seq      uint64 // last sequence number assigned
 	closing  bool
 	bcast    [1]osn.Event // reusable single-event batch for spool appends
+
+	// Wire-producer ingest (publish sub-protocol; see publish.go).
+	producers       map[string]*producerState
+	expectProducers int // producer group size, fixed by the first phello
+	eofed           int // producers that closed their epoch
+	ingestDone      chan struct{}
 
 	delivered atomic.Uint64
 	evicted   atomic.Uint64
@@ -226,6 +248,12 @@ type ServerStats struct {
 	// first, so an operator can see which consumer is holding the feed
 	// back before the stall timeout evicts it.
 	PerSession []SessionStats
+	// PerProducer breaks ingest down by wire producer (publish
+	// sub-protocol), sorted by id. Broadcast above remains the global
+	// sent count: every producer's events land in the one sequence
+	// space, so an audit against Delivered must use it, not any single
+	// producer's count.
+	PerProducer []ProducerStats
 	// Spool accounting, when a disk tier is configured. SpoolFirst is
 	// the oldest retained sequence (resumes reach back this far);
 	// SpoolErr reports the write failure that took the disk tier
@@ -265,7 +293,13 @@ func NewServer(addr string, opts ...ServerOption) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stream: listen: %w", err)
 	}
-	s := &Server{ln: ln, opt: o, sessions: make(map[string]*session)}
+	s := &Server{
+		ln:         ln,
+		opt:        o,
+		sessions:   make(map[string]*session),
+		producers:  make(map[string]*producerState),
+		ingestDone: make(chan struct{}),
+	}
 	if o.spool != nil {
 		// Adopt the spooled log's position: a restarted producer
 		// continues the sequence space instead of reusing numbers the
@@ -534,19 +568,33 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 	var hello frame
-	if err := json.Unmarshal(payload, &hello); err != nil ||
-		hello.T != frameHello || hello.Session == "" {
+	if err := json.Unmarshal(payload, &hello); err != nil {
 		writeControl(conn, frame{T: frameWelcome, V: ProtocolVersion, Err: "malformed hello"})
 		conn.Close()
 		return
 	}
 	if hello.V != ProtocolVersion {
-		writeControl(conn, frame{T: frameWelcome, V: ProtocolVersion,
+		t := frameWelcome
+		if hello.T == framePHello {
+			t = framePWelcome
+		}
+		writeControl(conn, frame{T: t, V: ProtocolVersion,
 			Err: fmt.Sprintf("unsupported protocol version %d", hello.V)})
 		conn.Close()
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
+	if hello.T == framePHello {
+		// The connection is a wire producer, not a subscriber: hand it
+		// to the ingest path (publish.go).
+		s.servePublisher(conn, br, hello, payload)
+		return
+	}
+	if hello.T != frameHello || hello.Session == "" {
+		writeControl(conn, frame{T: frameWelcome, V: ProtocolVersion, Err: "malformed hello"})
+		conn.Close()
+		return
+	}
 
 	sess, gen, from, reject := s.admit(hello, conn)
 	if reject != "" {
@@ -610,6 +658,16 @@ func (s *Server) admit(hello frame, conn net.Conn) (sess *session, gen int, from
 	if r > s.seq+1 {
 		return nil, 0, 0, "resume sequence ahead of feed"
 	}
+	if sess == nil && r == s.seq+1 {
+		// Resuming exactly at the head needs no replay from either
+		// tier: admit a live session. This is also how a DialFrom(1)
+		// subscriber joins an empty feed.
+		sess = s.newSessionLocked(hello.Session, s.seq, false)
+		sess.mu.Lock()
+		gen = sess.attachLocked(conn)
+		sess.mu.Unlock()
+		return sess, gen, r, ""
+	}
 	if sess != nil {
 		sess.mu.Lock()
 		switch {
@@ -653,6 +711,11 @@ func (s *Server) admit(hello frame, conn net.Conn) (sess *session, gen int, from
 		sess.evictLocked()
 		sess.mu.Unlock()
 	} else if !s.spoolServes(r) {
+		if s.spoolUsable() {
+			// A backfilling subscriber (DialFrom) asked below what
+			// retention still holds.
+			return nil, 0, 0, "resume sequence below the spool retention floor"
+		}
 		return nil, 0, 0, "unknown session (resume window expired)"
 	}
 	// Disk tier: catch up from segment files, then flip live.
@@ -918,7 +981,20 @@ func (s *Server) Stats() ServerStats {
 		}
 		per = append(per, st)
 	}
+	prod := make([]ProducerStats, 0, len(s.producers))
+	for _, p := range s.producers {
+		prod = append(prod, ProducerStats{
+			ID:          p.id,
+			Connected:   p.conn != nil,
+			Epoch:       p.epoch,
+			Batches:     p.batches,
+			Events:      p.events,
+			DedupeDrops: p.dups,
+			EOF:         p.eof,
+		})
+	}
 	s.mu.Unlock()
+	sort.Slice(prod, func(i, j int) bool { return prod[i].ID < prod[j].ID })
 	sort.Slice(per, func(i, j int) bool {
 		if per[i].Behind != per[j].Behind {
 			return per[i].Behind > per[j].Behind
@@ -926,11 +1002,12 @@ func (s *Server) Stats() ServerStats {
 		return per[i].ID < per[j].ID
 	})
 	st := ServerStats{
-		Broadcast:  seq,
-		Delivered:  s.delivered.Load(),
-		Sessions:   len(per),
-		Evicted:    s.evicted.Load(),
-		PerSession: per,
+		Broadcast:   seq,
+		Delivered:   s.delivered.Load(),
+		Sessions:    len(per),
+		Evicted:     s.evicted.Load(),
+		PerSession:  per,
+		PerProducer: prod,
 	}
 	if s.opt.spool != nil {
 		st.SpoolFirst = s.opt.spool.First()
@@ -974,6 +1051,15 @@ func (s *Server) Close() error {
 	}
 	s.closing = true
 	err := s.ln.Close()
+	for _, p := range s.producers {
+		// Sever producers: any pbatch still in flight is refused by the
+		// closing sequencer (ingest checks s.closing), so the cut is
+		// clean — the producer's unacked batches stay unacked.
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn = nil
+		}
+	}
 	for id, sess := range s.sessions {
 		sess.mu.Lock()
 		sess.closing = true

@@ -16,7 +16,8 @@ import (
 // rules — is in docs/ARCHITECTURE.md.
 //
 // Every frame is a 4-byte big-endian payload length followed by a
-// JSON object. The object's "t" field names the frame type:
+// JSON object. The object's "t" field names the frame type. The
+// subscribe side:
 //
 //	client → server   hello {"t":"hello","v":2,"session":S,"resume":R}
 //	                  ack   {"t":"ack","ack":N}
@@ -28,6 +29,32 @@ import (
 // Events inside a batch frame carry consecutive sequence numbers
 // starting at the frame's "seq"; acks name the highest sequence the
 // client has delivered to its application.
+//
+// The publish side (producer → broker, over the same listen port; the
+// first frame's type selects the role):
+//
+//	producer → broker   phello {"t":"phello","v":2,"producer":P,"producers":K,"epoch":E}
+//	                    pbatch {"t":"pbatch","bseq":B,"events":[...]}
+//	                    peof   {"t":"peof"}
+//	broker → producer   pwelcome {"t":"pwelcome","v":2,"epoch":E,"bseq":B,"count":C}
+//	                             {"t":"pwelcome","v":2,"err":"..."}
+//	                    pack     {"t":"pack","bseq":B}
+//	                    peof     {"t":"peof"}
+//
+// A producer names itself (producer id P), declares the size K of its
+// producer group, and either continues its current epoch (E > 0, a
+// reconnect within one process lifetime) or asks for a fresh one
+// (E = 0, a restarted process). The pwelcome grants the epoch and
+// reports B, the highest producer batch sequence the broker has
+// already sequenced in that epoch (resend only above it), and C, the
+// total events durably sequenced from this producer across all epochs
+// (a deterministic producer skips that many on restart). pbatch
+// sequences are per producer and contiguous from 1 within an epoch;
+// the broker drops (but still acks) replays at or below B, so a
+// reconnect that resends in-flight batches delivers them downstream
+// exactly once. peof closes the producer's epoch for good; the broker
+// confirms with a peof of its own and ends the downstream feed only
+// after every one of the K producers has closed.
 
 // ProtocolVersion is the feed protocol generation spoken by this
 // package. Version 1 (unframed newline-delimited JSON, no sequencing,
@@ -41,6 +68,13 @@ const (
 	frameBatch   = "batch"
 	frameAck     = "ack"
 	frameEOF     = "eof"
+
+	// Publish sub-protocol (producer → broker ingest).
+	framePHello   = "phello"
+	framePWelcome = "pwelcome"
+	framePBatch   = "pbatch"
+	framePAck     = "pack"
+	framePEOF     = "peof"
 )
 
 // frame is the JSON form of every control frame. Batch frames use the
@@ -57,6 +91,13 @@ type frame struct {
 	Ack     uint64      `json:"ack,omitempty"`
 	Seq     uint64      `json:"seq,omitempty"`
 	Events  []WireEvent `json:"events,omitempty"`
+
+	// Publish sub-protocol fields.
+	Producer  string `json:"producer,omitempty"`  // producer id (phello)
+	Producers int    `json:"producers,omitempty"` // producer group size (phello)
+	Epoch     uint64 `json:"epoch,omitempty"`     // producer epoch (phello request / pwelcome grant)
+	Bseq      uint64 `json:"bseq,omitempty"`      // per-producer batch sequence (pbatch/pack/pwelcome)
+	Count     uint64 `json:"count,omitempty"`     // events durably sequenced from this producer (pwelcome)
 }
 
 // WireEvent is the JSON wire form of an osn.Event.
@@ -97,19 +138,44 @@ func parseBatchFrame(payload []byte, dst []osn.Event) (seq uint64, evs []osn.Eve
 // parseBatchSlow is the encoding/json fallback for batch payloads from
 // non-canonical encoders.
 func parseBatchSlow(payload []byte, dst []osn.Event) (uint64, []osn.Event, error) {
+	f, evs, err := parseEventFrameSlow(payload, frameBatch, dst)
+	return f.Seq, evs, err
+}
+
+// appendPBatchFrame appends the canonical publish batch frame (batch
+// sequence bseq) to dst and returns the extended slice.
+func appendPBatchFrame(dst []byte, bseq uint64, events []osn.Event) []byte {
+	return wire.AppendPBatch(dst, bseq, events)
+}
+
+// parsePBatchFrame decodes a canonical publish batch payload into
+// events appended to dst. ok is false when the payload deviates from
+// the canonical form (the broker then falls back to encoding/json).
+func parsePBatchFrame(payload []byte, dst []osn.Event) (bseq uint64, evs []osn.Event, ok bool) {
+	return wire.ParsePBatch(payload, dst)
+}
+
+// parsePBatchSlow is the encoding/json fallback for publish batches
+// from non-canonical encoders.
+func parsePBatchSlow(payload []byte, dst []osn.Event) (uint64, []osn.Event, error) {
+	f, evs, err := parseEventFrameSlow(payload, framePBatch, dst)
+	return f.Bseq, evs, err
+}
+
+func parseEventFrameSlow(payload []byte, want string, dst []osn.Event) (frame, []osn.Event, error) {
 	var f frame
 	if err := json.Unmarshal(payload, &f); err != nil {
-		return 0, dst, fmt.Errorf("stream: bad frame: %w", err)
+		return f, dst, fmt.Errorf("stream: bad frame: %w", err)
 	}
-	if f.T != frameBatch {
-		return 0, dst, fmt.Errorf("stream: unexpected frame type %q", f.T)
+	if f.T != want {
+		return f, dst, fmt.Errorf("stream: unexpected frame type %q", f.T)
 	}
 	for _, w := range f.Events {
 		ev, err := w.ToOSN()
 		if err != nil {
-			return 0, dst, err
+			return f, dst, err
 		}
 		dst = append(dst, ev)
 	}
-	return f.Seq, dst, nil
+	return f, dst, nil
 }

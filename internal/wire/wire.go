@@ -15,7 +15,11 @@
 // AppendBatch emits exactly this form; ParseBatch accepts exactly this
 // form and reports !ok on anything else, in which case transport-level
 // callers fall back to encoding/json (the spool never needs to: it
-// only reads frames it wrote).
+// only reads frames it wrote). The publish-side "pbatch" frame —
+// producer→broker, numbered by the producer's own batch sequence
+// instead of the feed's global one — is the same shape under the tag
+// `{"t":"pbatch","bseq":N,...}` and shares the encoder and parser
+// (AppendPBatch / ParsePBatch).
 package wire
 
 import (
@@ -132,12 +136,33 @@ func (w Event) ToOSN() (osn.Event, error) {
 	}, nil
 }
 
+// Canonical payload prefixes for the two batch-shaped frames: the
+// downstream batch (sequenced in the feed's global order) and the
+// publish-side pbatch (sequenced per producer for reconnect dedupe).
+// Both share one encoder and one parser; only the tag and the meaning
+// of the leading number differ.
+const (
+	batchPrefix  = `{"t":"batch","seq":`
+	pbatchPrefix = `{"t":"pbatch","bseq":`
+)
+
 // AppendBatch appends the canonical JSON batch payload for events with
 // first sequence seq to dst and returns the extended slice. Batch
 // payloads dominate feed traffic and fill every spool segment, so the
 // encoding avoids encoding/json reflection entirely.
 func AppendBatch(dst []byte, seq uint64, events []osn.Event) []byte {
-	dst = append(dst, `{"t":"batch","seq":`...)
+	return appendBatch(dst, batchPrefix, seq, events)
+}
+
+// AppendPBatch appends the canonical publish batch payload — the
+// producer→broker form, tagged "pbatch" and numbered by the producer's
+// own batch sequence — to dst and returns the extended slice.
+func AppendPBatch(dst []byte, bseq uint64, events []osn.Event) []byte {
+	return appendBatch(dst, pbatchPrefix, bseq, events)
+}
+
+func appendBatch(dst []byte, prefix string, seq uint64, events []osn.Event) []byte {
+	dst = append(dst, prefix...)
 	dst = strconv.AppendUint(dst, seq, 10)
 	dst = append(dst, `,"events":[`...)
 	for i, ev := range events {
@@ -229,8 +254,20 @@ func (c *batchCursor) str() ([]byte, bool) {
 // transport callers then fall back to encoding/json, storage callers
 // treat it as corruption.
 func ParseBatch(payload []byte, dst []osn.Event) (seq uint64, evs []osn.Event, ok bool) {
+	return parseBatch(payload, batchPrefix, dst)
+}
+
+// ParsePBatch decodes a canonical publish batch payload (the
+// producer→broker "pbatch" form) into events appended to dst,
+// returning the producer's batch sequence. Same canonical-form rules
+// as ParseBatch.
+func ParsePBatch(payload []byte, dst []osn.Event) (bseq uint64, evs []osn.Event, ok bool) {
+	return parseBatch(payload, pbatchPrefix, dst)
+}
+
+func parseBatch(payload []byte, prefix string, dst []osn.Event) (seq uint64, evs []osn.Event, ok bool) {
 	c := batchCursor{b: payload}
-	if !c.lit(`{"t":"batch","seq":`) {
+	if !c.lit(prefix) {
 		return 0, dst, false
 	}
 	seq, numOK := c.uint()

@@ -64,3 +64,33 @@ func TestBatchCodecRoundTrip(t *testing.T) {
 		t.Fatal("truncated payload accepted")
 	}
 }
+
+// TestPBatchCodecRoundTrip pins the publish-side batch form: same
+// canonical event encoding as the downstream batch, different tag and
+// sequence meaning — and neither parser may accept the other's tag,
+// or a misrouted frame would be silently re-interpreted.
+func TestPBatchCodecRoundTrip(t *testing.T) {
+	events := []osn.Event{
+		{Type: osn.EvFriendRequest, At: 10, Actor: 1, Target: 2},
+		{Type: osn.EvBlogShare, At: 11, Actor: 2, Target: 1, Aux: 3},
+	}
+	payload := AppendPBatch(nil, 7, events)
+	bseq, got, ok := ParsePBatch(payload, nil)
+	if !ok {
+		t.Fatalf("canonical pbatch rejected: %s", payload)
+	}
+	if bseq != 7 || len(got) != len(events) {
+		t.Fatalf("bseq=%d n=%d, want 7/%d", bseq, len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v, want %+v", i, got[i], events[i])
+		}
+	}
+	if _, _, ok := ParseBatch(payload, nil); ok {
+		t.Fatal("ParseBatch accepted a pbatch payload")
+	}
+	if _, _, ok := ParsePBatch(AppendBatch(nil, 7, events), nil); ok {
+		t.Fatal("ParsePBatch accepted a batch payload")
+	}
+}
