@@ -6,14 +6,14 @@ GO ?= go
 # Output file for bench-json; bump the number each PR that refreshes
 # the committed perf baseline. BENCH_BASE is the previous PR's
 # committed baseline that the fresh run is diffed against.
-BENCH_OUT ?= BENCH_5.json
-BENCH_BASE ?= BENCH_4.json
+BENCH_OUT ?= BENCH_6.json
+BENCH_BASE ?= BENCH_5.json
 
 # Pinned staticcheck release; CI and local runs must agree on the
 # check set, so bump this deliberately, not implicitly.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test race bench bench-json fmt vet docs staticcheck ci
+.PHONY: all build test race bench bench-json bench-gate profile fmt vet docs staticcheck ci
 
 all: build
 
@@ -39,6 +39,24 @@ bench-json:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > $(BENCH_OUT).tmp
 	$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) < $(BENCH_OUT).tmp > $(BENCH_OUT)
 	@rm -f $(BENCH_OUT).tmp
+
+# Shard-scaling gate: the batch ingest path at shards=4 must not run
+# slower than shards=1 (modest slack for single-core runners, where
+# extra shards only add channel hops and no parallelism). A relative
+# gate within one run survives noisy shared hardware; CI's bench-smoke
+# job fails loudly when it trips.
+bench-gate:
+	$(GO) test -bench=BenchmarkPipelineBatch -benchtime=1x -run='^$$' . | \
+		$(GO) run ./cmd/benchjson \
+		-gate 'BenchmarkPipelineBatch/shards=4<=BenchmarkPipelineBatch/shards=1*1.25' \
+		> /dev/null
+
+# CPU + allocation profiles of the batch ingest hot path. Inspect with
+# `go tool pprof cpu.pprof` / `go tool pprof -sample_index=alloc_objects mem.pprof`.
+profile:
+	$(GO) test -bench=BenchmarkPipelineBatch -benchtime=3x -run='^$$' -benchmem \
+		-cpuprofile cpu.pprof -memprofile mem.pprof .
+	@echo "profiles written: cpu.pprof mem.pprof (binary: sybilwild.test)"
 
 fmt:
 	@out=$$(gofmt -l .); \

@@ -444,10 +444,11 @@ func BenchmarkPipeline(b *testing.B) {
 	})
 }
 
-// BenchmarkPipelineBatch replays the trace through ObserveBatch in
+// BenchmarkPipelineBatch replays the trace through Ingest in
 // wire-batch-sized chunks — the path detectd takes off the v2 feed
-// (stream batches → one channel hop per shard), compared against the
-// per-event Observe dispatch of BenchmarkPipeline.
+// (stream batches → arena-partitioned sub-batches → one channel hop
+// per shard), compared against the per-event Observe dispatch of
+// BenchmarkPipeline.
 func BenchmarkPipelineBatch(b *testing.B) {
 	events, g := realtimeWorkload(b)
 	rule := detector.PaperRule()
@@ -462,7 +463,7 @@ func BenchmarkPipelineBatch(b *testing.B) {
 					if end > len(events) {
 						end = len(events)
 					}
-					p.ObserveBatch(events[off:end])
+					p.Ingest(detector.Batch{Events: events[off:end]})
 				}
 				p.Close()
 				flagged = p.FlaggedCount()

@@ -12,6 +12,17 @@
 // shows the perf trajectory PR over PR:
 //
 //	go test -bench=. ... | benchjson -compare BENCH_3.json > BENCH_4.json
+//
+// With -gate 'A<=B*SLACK' it asserts a relative invariant WITHIN the
+// fresh run — benchmark A's ns/op must not exceed benchmark B's times
+// SLACK — and exits non-zero when it doesn't hold or either benchmark
+// is missing. Relative gates survive noisy shared runners (both sides
+// ran on the same machine moments apart), which is what lets CI fail
+// loudly on a real scaling regression without gating on absolute
+// numbers:
+//
+//	go test -bench=PipelineBatch ... | benchjson \
+//	  -gate 'BenchmarkPipelineBatch/shards=4<=BenchmarkPipelineBatch/shards=1*1.15'
 package main
 
 import (
@@ -42,6 +53,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	compare := flag.String("compare", "", "baseline BENCH JSON file to diff the fresh run against (deltas on stderr)")
+	gate := flag.String("gate", "", "relative invariant 'A<=B*SLACK' over the fresh run's ns/op; exit non-zero when violated")
 	flag.Parse()
 
 	out, err := parseBench(os.Stdin)
@@ -62,6 +74,68 @@ func main() {
 	if err := enc.Encode(out); err != nil {
 		log.Fatal(err)
 	}
+	if *gate != "" {
+		if err := checkGate(os.Stderr, *gate, out); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// checkGate evaluates one 'A<=B*SLACK' invariant (SLACK optional,
+// default 1.0) against the fresh results. Benchmark names match with
+// or without the -GOMAXPROCS suffix `go test` appends, so one gate
+// expression works on any runner shape. A missing side is a hard
+// failure — a renamed benchmark must not silently disarm the gate.
+func checkGate(w io.Writer, expr string, fresh []result) error {
+	nameA, rest, ok := strings.Cut(expr, "<=")
+	if !ok {
+		return fmt.Errorf("gate %q: want 'A<=B' or 'A<=B*SLACK'", expr)
+	}
+	nameB := rest
+	slack := 1.0
+	if b, s, ok := strings.Cut(rest, "*"); ok {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil || f <= 0 {
+			return fmt.Errorf("gate %q: bad slack %q", expr, s)
+		}
+		nameB, slack = b, f
+	}
+	a, okA := findByName(fresh, nameA)
+	b, okB := findByName(fresh, nameB)
+	if !okA || !okB {
+		missing := nameA
+		if okA {
+			missing = nameB
+		}
+		return fmt.Errorf("gate %q: benchmark %q not in the fresh run", expr, missing)
+	}
+	av, bv := a.Metrics["ns/op"], b.Metrics["ns/op"]
+	if av == 0 || bv == 0 {
+		return fmt.Errorf("gate %q: ns/op missing or zero (%v vs %v)", expr, av, bv)
+	}
+	if av > bv*slack {
+		return fmt.Errorf("gate FAILED: %s ns/op %.4g > %s ns/op %.4g × %.2f = %.4g",
+			a.Name, av, b.Name, bv, slack, bv*slack)
+	}
+	fmt.Fprintf(w, "gate ok: %s ns/op %.4g <= %s ns/op %.4g × %.2f\n", a.Name, av, b.Name, bv, slack)
+	return nil
+}
+
+// findByName locates a fresh result whose name equals want, ignoring
+// the trailing -GOMAXPROCS decoration.
+func findByName(rs []result, want string) (result, bool) {
+	for _, r := range rs {
+		name := r.Name
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if name == want || r.Name == want {
+			return r, true
+		}
+	}
+	return result{}, false
 }
 
 // parseBench reads `go test -bench` text output into results.

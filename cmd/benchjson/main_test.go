@@ -61,6 +61,35 @@ func TestPrintDeltas(t *testing.T) {
 	}
 }
 
+func TestCheckGate(t *testing.T) {
+	fresh := []result{
+		{Name: "BenchmarkPipelineBatch/shards=1-8", Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "BenchmarkPipelineBatch/shards=4-8", Metrics: map[string]float64{"ns/op": 105}},
+	}
+	var sb strings.Builder
+	// Within slack: 105 <= 100*1.15 — passes, GOMAXPROCS suffix ignored.
+	if err := checkGate(&sb, "BenchmarkPipelineBatch/shards=4<=BenchmarkPipelineBatch/shards=1*1.15", fresh); err != nil {
+		t.Fatalf("gate within slack failed: %v", err)
+	}
+	if !strings.Contains(sb.String(), "gate ok") {
+		t.Fatalf("missing gate ok line: %q", sb.String())
+	}
+	// No slack: 105 > 100 — fails.
+	if err := checkGate(&sb, "BenchmarkPipelineBatch/shards=4<=BenchmarkPipelineBatch/shards=1", fresh); err == nil {
+		t.Fatal("gate without slack should have failed")
+	}
+	// Missing benchmark is a hard failure, not a silent pass.
+	if err := checkGate(&sb, "BenchmarkRenamed<=BenchmarkPipelineBatch/shards=1", fresh); err == nil {
+		t.Fatal("gate with missing benchmark should have failed")
+	}
+	// Malformed expressions are rejected.
+	for _, expr := range []string{"no-operator", "A<=B*zero", "A<=B*-1"} {
+		if err := checkGate(&sb, expr, fresh); err == nil {
+			t.Fatalf("gate %q should have been rejected", expr)
+		}
+	}
+}
+
 func TestDeltaStringEdges(t *testing.T) {
 	if got := deltaString(0, 5); got != "n/a" {
 		t.Fatalf("zero baseline: %q, want n/a", got)

@@ -8,8 +8,8 @@
 // hash-partitioned across -shards workers (default GOMAXPROCS), each
 // owning its slice of feature state, so classification keeps up with
 // production-scale feeds. Ingestion rides the v2 feed protocol at
-// batch granularity: each wire batch enters the pipeline through
-// ObserveBatchSeq (one channel hop per shard), and the subscription
+// batch granularity: each sequenced wire batch enters the pipeline
+// through one Ingest call (one channel hop per shard), and the subscription
 // resumes from the last applied sequence if the connection drops, so
 // a network blip costs no events (see docs/ARCHITECTURE.md for the
 // delivery contract).
@@ -259,7 +259,7 @@ func (d *daemon) run(addr string, maxRetries int, every time.Duration, maxLag ui
 		// and a checkpoint cut before the first batch must still record
 		// a sequence the server will accept a resume from.
 		if c.LastSeq() > d.p.Seq() {
-			d.p.ObserveBatchSeq(nil, c.LastSeq())
+			d.p.Ingest(detector.Batch{LastSeq: c.LastSeq()})
 		}
 		d.mu.Lock()
 		d.current = c
@@ -288,7 +288,7 @@ func (d *daemon) run(addr string, maxRetries int, every time.Duration, maxLag ui
 			if first := last - uint64(len(evs)) + 1; first <= d.p.Seq() {
 				evs = evs[d.p.Seq()-first+1:]
 			}
-			d.p.ObserveBatchSeq(evs, last)
+			d.p.Ingest(detector.Batch{Events: evs, LastSeq: last})
 			d.events += len(evs)
 			d.batches++
 			if d.store != nil && (time.Since(lastCkpt) >= every ||

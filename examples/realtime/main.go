@@ -69,7 +69,8 @@ func main() {
 	subWG.Add(1)
 	go func() {
 		defer subWG.Done()
-		if err := stream.SubscribeBatch(srv.Addr(), pipe.ObserveBatch, 5); err != nil {
+		ingest := func(evs []osn.Event) { pipe.Ingest(detector.Batch{Events: evs}) }
+		if err := stream.SubscribeBatch(srv.Addr(), ingest, 5); err != nil {
 			fmt.Println("subscriber error:", err)
 		}
 		pipe.Close()

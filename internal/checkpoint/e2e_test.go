@@ -78,7 +78,7 @@ func TestKillRestoreFlagEquality(t *testing.T) {
 		if err != nil {
 			t.Fatalf("phase 1 recv: %v", err)
 		}
-		p1.ObserveBatchSeq(evs, c1.LastSeq())
+		p1.Ingest(detector.Batch{Events: evs, LastSeq: c1.LastSeq()})
 		if batches++; batches%7 == 0 {
 			snap := p1.Snapshot()
 			if _, err := store.Write(c1.Session(), snap); err != nil {
@@ -94,7 +94,7 @@ func TestKillRestoreFlagEquality(t *testing.T) {
 		if err != nil {
 			t.Fatalf("phase 1 tail recv: %v", err)
 		}
-		p1.ObserveBatchSeq(evs, c1.LastSeq())
+		p1.Ingest(detector.Batch{Events: evs, LastSeq: c1.LastSeq()})
 	}
 	applied := c1.LastSeq()
 	c1.Kick()  // the kill: connection severed without goodbye...
@@ -134,7 +134,7 @@ func TestKillRestoreFlagEquality(t *testing.T) {
 		if err != nil {
 			t.Fatalf("phase 2 recv at seq %d: %v", c2.LastSeq(), err)
 		}
-		p2.ObserveBatchSeq(evs, c2.LastSeq())
+		p2.Ingest(detector.Batch{Events: evs, LastSeq: c2.LastSeq()})
 	}
 	finalSnap := p2.Snapshot()
 	if _, err := store.Write(c2.Session(), finalSnap); err != nil {

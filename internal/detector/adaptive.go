@@ -42,6 +42,9 @@ func NewAdaptive(seed Rule, window, refitEach int) *Adaptive {
 // Classify applies the current thresholds.
 func (a *Adaptive) Classify(v features.Vector) bool { return a.Rule.Classify(v) }
 
+// NeedsCC applies the current thresholds' CC gate (CCGated).
+func (a *Adaptive) NeedsCC(v features.Vector) bool { return a.Rule.NeedsCC(v) }
+
 // Audit records a ground-truth labelled sample (e.g. the verdict of
 // Renren's human verification team on a flagged account) and re-fits
 // the thresholds when due.

@@ -51,6 +51,14 @@ func (r Rule) Classify(v features.Vector) bool {
 	return v.OutAccept < r.OutAcceptMax && v.Freq1h > r.FreqMin && v.CC < r.CCMax
 }
 
+// NeedsCC reports whether the clustering coefficient can change the
+// verdict for v (CCGated). Because the rule is a pure conjunction, CC
+// only matters once every counter-derived term is already on the Sybil
+// side; otherwise Classify is false for any CC.
+func (r Rule) NeedsCC(v features.Vector) bool {
+	return v.OutSent >= r.MinObserved && v.OutAccept < r.OutAcceptMax && v.Freq1h > r.FreqMin
+}
+
 // String renders the rule like the paper does.
 func (r Rule) String() string {
 	return fmt.Sprintf("outAccept < %.2f ∧ freq > %.1f/h ∧ cc < %.4g (min %d requests)",

@@ -9,12 +9,12 @@ import (
 	"sybilwild/internal/stream"
 )
 
-// ExamplePipeline_ObserveBatch ingests an event log in wire-batch
+// ExamplePipeline_Ingest ingests an event log in wire-batch
 // chunks — the shape detectd receives from stream.Client.RecvBatch —
 // through the sharded pipeline. Account 1 bursts 30 invitations in an
 // hour with a single accept, the paper's Sybil signature, and is the
 // only account flagged.
-func ExamplePipeline_ObserveBatch() {
+func ExamplePipeline_Ingest() {
 	g := graph.New(64)
 	g.AddNodes(64)
 
@@ -31,7 +31,7 @@ func ExamplePipeline_ObserveBatch() {
 	p := detector.NewPipeline(rule, g, detector.WithShards(4))
 	for i := 0; i < len(events); i += stream.DefaultMaxBatch {
 		end := min(i+stream.DefaultMaxBatch, len(events))
-		p.ObserveBatch(events[i:end])
+		p.Ingest(detector.Batch{Events: events[i:end]})
 	}
 	p.Close()
 

@@ -3,6 +3,7 @@ package detector
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"sybilwild/internal/features"
 	"sybilwild/internal/graph"
@@ -13,26 +14,32 @@ import (
 // Pipeline is the sharded, concurrent counterpart of Monitor. Accounts
 // are hash-partitioned across N shards; each shard owns the feature
 // counters of its accounts outright (no shared tracker, no global
-// lock) and drains its own buffered event channel. Observe is the
-// fan-out dispatcher: it routes each event to the shard owning the
-// actor and the shard owning the target, so every counter is written
-// by exactly one goroutine. Flags from all shards funnel through a
-// single merge goroutine, which records them and fires the flag hook.
+// lock) and drains its own buffered channel of contiguous sub-batches.
+// Ingest is the fan-out dispatcher: it partitions each wire batch once
+// into per-shard sub-batches (in a reusable arena, so the steady-state
+// dispatch path never allocates) and hands each shard its slice in one
+// channel hop, so every counter is written by exactly one goroutine.
+// Flags from all shards funnel through a single merge goroutine, which
+// records them and fires the flag hook; shards deliver flags a message
+// at a time rather than one channel send per verdict, so a burst of
+// detections on one shard never serializes the others.
 //
 // Fed the same single-goroutine event stream over the same static
 // graph, Pipeline flags exactly the set Monitor flags (per-account
 // event order is preserved end to end); Monitor remains the serial
 // reference implementation that TestPipelineMatchesMonitor checks
-// against. Observe itself is safe to call from many goroutines, which
-// is how production traffic — per-frontend feeds — would enter it.
+// against. Ingest and Observe are safe to call from many goroutines,
+// which is how production traffic — per-frontend feeds — would enter
+// the pipeline.
 //
 // Lifecycle: NewPipeline starts the shard and merge goroutines
-// immediately; call Observe per event (or ObserveBatch per wire
-// batch), then Close exactly once, after all Observe/ObserveBatch
-// calls have returned, to drain and stop. Flagged state may be
-// queried at any time; Tracked and Graph only after Close.
+// immediately; call Ingest per wire batch (or Observe per event), then
+// Close exactly once, after all ingestion calls have returned, to
+// drain and stop. Flagged state may be queried at any time; Tracked
+// and Graph only after Close.
 type Pipeline struct {
 	c          Classifier
+	ccGate     CCGated // p.c when it implements CCGated, else nil
 	checkEvery int
 
 	// Graph access. In the default mode g is a caller-provided graph
@@ -46,18 +53,25 @@ type Pipeline struct {
 
 	shards []*pshard
 
-	flags     chan Flag
+	// freeArenas is the ring of reusable sub-batch partition buffers.
+	// Ingest takes one per batch and the last shard to finish its
+	// sub-batch returns it, so the ring's depth bounds how many batches
+	// can be in flight — backpressure lands on the producer once every
+	// arena is busy.
+	freeArenas chan *arena
+
+	flags     chan flagMsg
 	mergeDone chan struct{}
-	syncAck   chan struct{} // merge's reply to a mergeSyncID sentinel
+	syncAck   chan struct{} // merge's reply to a sync flagMsg
 	onFlag    func(Flag)
 
 	fmu     sync.RWMutex
 	flagged map[osn.AccountID]Flag
 
 	// lastSeq is the highest stream sequence stamped by a sequenced
-	// ingestion call (ObserveBatchSeq). Written and read only from the
-	// ingestion/snapshot goroutine — the snapshot contract requires
-	// Snapshot not to overlap Observe calls anyway.
+	// ingestion call (Ingest with Batch.LastSeq set). Written and read
+	// only from the ingestion/snapshot goroutine — the snapshot
+	// contract requires Snapshot not to overlap ingestion anyway.
 	lastSeq uint64
 
 	closeOnce sync.Once
@@ -71,19 +85,40 @@ type Flag struct {
 	Vector features.Vector
 }
 
+// Batch is one unit of ingestion: a slice of events in stream order,
+// optionally stamped with the global stream sequence of its last event
+// (stream.Client.LastSeq after RecvBatch). A zero LastSeq means
+// unsequenced — replayed logs, tests, simulation feeds.
+type Batch struct {
+	Events []osn.Event
+	// LastSeq, when non-zero, records that Events end at this global
+	// stream sequence. The pipeline remembers the highest sequence
+	// applied so Snapshot can stamp its cut, which is what turns a
+	// checkpoint plus the feed's resume-from-sequence into exactly-once
+	// crash recovery. Sequenced batches must come from a single
+	// goroutine (the snapshot contract already requires quiescing
+	// ingestion around Snapshot); unsequenced batches may be ingested
+	// concurrently.
+	LastSeq uint64
+}
+
 // pshard is one partition: a goroutine draining in, the feature
 // counters of the accounts hashed to it, and its slice of the
-// per-account evaluation bookkeeping. The shard keeps the full Flag
-// record (not just a bit) so a snapshot barrier can serialize verdicts
-// from the shard's own state, consistent with its counters, without
-// racing the merge goroutine.
+// per-account evaluation bookkeeping. Cadence positions and
+// flagged-bits live in flat slices indexed by tracker Handle — two
+// slice loads on the hot path where there used to be two map lookups.
+// The shard keeps the full Flag record (not just a bit) so a snapshot
+// barrier can serialize verdicts from the shard's own state,
+// consistent with its counters, without racing the merge goroutine.
 type pshard struct {
-	p       *Pipeline
-	in      chan shardMsg
-	tr      *features.Tracker
-	seen    map[osn.AccountID]int
-	flagged map[osn.AccountID]Flag
-	done    chan struct{}
+	p         *Pipeline
+	in        chan shardMsg
+	tr        *features.Tracker
+	seen      []uint32 // by Handle: requests seen, mod checkEvery
+	flaggedAt []bool   // by Handle: verdict already emitted
+	flagged   map[osn.AccountID]Flag
+	pending   []Flag // flags accumulated during the current message
+	done      chan struct{}
 }
 
 // shardEvent tells a shard which side(s) of the event it owns. When
@@ -95,14 +130,44 @@ type shardEvent struct {
 }
 
 // shardMsg is one channel hop to a shard: a single event (Observe,
-// allocation-free), a batch (ObserveBatch, one hop per shard per wire
-// batch), or a snapshot barrier (Snapshot/Reshard): the shard
-// serializes its partition at that exact point in its event order and
-// replies on the channel.
+// allocation-free), an arena-backed sub-batch (Ingest, one hop per
+// shard per wire batch), or a snapshot barrier (Snapshot/Reshard): the
+// shard serializes its partition at that exact point in its event
+// order and replies on the channel.
 type shardMsg struct {
 	one     shardEvent
-	batch   []shardEvent     // non-nil: batch dispatch
+	batch   []shardEvent     // non-nil: sub-batch dispatch
+	arena   *arena           // owner of batch, released after processing
 	barrier chan<- shardPart // non-nil: serialize and reply
+}
+
+// arena is one reusable partition table: a per-shard slice of
+// sub-batches plus the count of shards still reading them. The
+// dispatcher fills subs, stamps pending with the number of non-empty
+// sub-batches, and dispatches; each shard decrements pending when done
+// and the last one returns the arena to the free ring. Slice capacity
+// is retained across reuses, so after warm-up partitioning allocates
+// nothing.
+type arena struct {
+	subs    [][]shardEvent
+	pending atomic.Int32
+}
+
+// release marks one shard's sub-batch fully consumed, recycling the
+// arena when it was the last.
+func (a *arena) release(p *Pipeline) {
+	if a.pending.Add(-1) == 0 {
+		p.freeArenas <- a
+	}
+}
+
+// flagMsg is one merge-stage delivery: a shard's verdicts from one
+// message (batched, so flag delivery is one channel hop per message
+// rather than per flag), or a sync marker Snapshot uses to flush the
+// merge stage.
+type flagMsg struct {
+	flags []Flag
+	sync  bool
 }
 
 // PipelineOption configures NewPipeline.
@@ -126,7 +191,7 @@ func WithCheckEvery(n int) PipelineOption {
 
 // WithFlagHook installs fn, called exactly once per flagged account
 // from the merge goroutine (so hooks never run concurrently). The hook
-// must not call Close or Observe (feeding events from the merge
+// must not call Close or Ingest (feeding events from the merge
 // goroutine can deadlock against a full shard buffer); to act on the
 // network, record the flag and apply it from the producer side, as
 // TestMonitorOnLiveCampaign's ban action does.
@@ -144,20 +209,29 @@ func WithGraphReconstruction() PipelineOption {
 
 // shardBuffer is the per-shard channel depth. Deep enough to ride out
 // shard-local bursts (one account evaluating an expensive clustering
-// coefficient), small enough that backpressure reaches the producer
-// before memory does.
-const shardBuffer = 1024
+// coefficient) even when most messages are single events, small enough
+// that backpressure reaches the producer before memory does.
+const shardBuffer = 4096
+
+// arenaRing is how many partition arenas circulate, i.e. how many wire
+// batches may be in flight across the shards at once.
+const arenaRing = 8
+
+// arenaSubCap is the initial per-shard sub-batch capacity. Sized for a
+// typical wire batch landing on one shard; append growth beyond it is
+// retained for the arena's next reuse.
+const arenaSubCap = 512
 
 // NewPipeline builds and starts a pipeline classifying with c over
-// friendship graph g. The returned pipeline is live: wire Observe to
-// an event source (e.g. Network.RegisterObserver) and Close when the
-// stream ends.
+// friendship graph g. The returned pipeline is live: wire Ingest to an
+// event source (e.g. stream.SubscribeBatch) and Close when the stream
+// ends.
 func NewPipeline(c Classifier, g *graph.Graph, opts ...PipelineOption) *Pipeline {
 	p := &Pipeline{
 		c:          c,
 		g:          g,
 		checkEvery: 1,
-		flags:      make(chan Flag, 256),
+		flags:      make(chan flagMsg, 256),
 		mergeDone:  make(chan struct{}),
 		syncAck:    make(chan struct{}, 1),
 		flagged:    make(map[osn.AccountID]Flag),
@@ -168,6 +242,7 @@ func NewPipeline(c Classifier, g *graph.Graph, opts ...PipelineOption) *Pipeline
 	if p.checkEvery < 1 {
 		p.checkEvery = 1
 	}
+	p.ccGate, _ = p.c.(CCGated)
 	if p.ownGraph {
 		p.g = graph.New(0)
 	}
@@ -182,8 +257,23 @@ func NewPipeline(c Classifier, g *graph.Graph, opts ...PipelineOption) *Pipeline
 		p.shards[i] = s
 		go s.run()
 	}
+	p.makeArenas()
 	go p.merge()
 	return p
+}
+
+// makeArenas builds a fresh arena ring sized to the current shard
+// count. Called only when no arena can be in flight (construction, or
+// post-barrier in Reshard).
+func (p *Pipeline) makeArenas() {
+	p.freeArenas = make(chan *arena, arenaRing)
+	for i := 0; i < arenaRing; i++ {
+		a := &arena{subs: make([][]shardEvent, len(p.shards))}
+		for j := range a.subs {
+			a.subs[j] = make([]shardEvent, 0, arenaSubCap)
+		}
+		p.freeArenas <- a
+	}
 }
 
 // shardIdx hash-partitions an account. Dense sequential IDs are mixed
@@ -201,17 +291,82 @@ func (p *Pipeline) shardOf(id osn.AccountID) *pshard {
 	return p.shards[p.shardIdx(id)]
 }
 
-// Observe is the dispatcher: it routes one event to the shard(s)
-// owning its endpoints, maintaining the reconstructed graph first when
-// the pipeline owns it. Safe for concurrent use. Blocks when a shard's
-// buffer is full — backpressure lands on the producer rather than in
-// unbounded memory. Must not be called after (or concurrently with)
-// Close.
+// Ingest is the batch-first entry point: it routes one wire batch —
+// e.g. one feed batch from stream.Client.RecvBatch or a chunk of a
+// replayed historical log — to the shards, with one channel hop per
+// shard per batch. The batch is partitioned once into per-shard
+// sub-batches inside a recycled arena, so steady-state dispatch
+// allocates nothing; when the pipeline reconstructs its own graph, the
+// batch's graph growth happens in one write-lock acquisition before
+// dispatch, so shards compute clustering coefficients concurrently
+// with the dispatcher growing the graph for the next batch instead of
+// serializing behind per-event lock traffic.
+//
+// Per-shard event order is the batch order, so feeding the same stream
+// via Ingest calls, Observe calls, or any mix of the two flags the
+// same set. Unsequenced batches (LastSeq zero) are safe to ingest from
+// many goroutines; see Batch.LastSeq for the sequenced contract.
+// Blocks when every arena is in flight or a shard's buffer is full —
+// backpressure lands on the producer rather than in unbounded memory.
+// Must not be called after (or concurrently with) Close.
+func (p *Pipeline) Ingest(b Batch) {
+	if len(b.Events) > 0 {
+		if p.ownGraph {
+			p.extendGraphBatch(b.Events)
+		}
+		a := <-p.freeArenas
+		for i := range a.subs {
+			a.subs[i] = a.subs[i][:0]
+		}
+		for _, ev := range b.Events {
+			switch ev.Type {
+			case osn.EvFriendRequest, osn.EvFriendAccept:
+			default:
+				continue // no feature in §2.2 consumes the rest of the log
+			}
+			ia := p.shardIdx(ev.Actor)
+			it := p.shardIdx(ev.Target)
+			if ia == it {
+				a.subs[ia] = append(a.subs[ia], shardEvent{ev: ev, actor: true, target: true})
+				continue
+			}
+			a.subs[ia] = append(a.subs[ia], shardEvent{ev: ev, actor: true})
+			a.subs[it] = append(a.subs[it], shardEvent{ev: ev, target: true})
+		}
+		var nsub int32
+		for i := range a.subs {
+			if len(a.subs[i]) > 0 {
+				nsub++
+			}
+		}
+		if nsub == 0 {
+			p.freeArenas <- a
+		} else {
+			// Stamp the reader count before the first dispatch: a fast
+			// shard may finish (and decrement) before the loop ends.
+			a.pending.Store(nsub)
+			for i := range a.subs {
+				if len(a.subs[i]) > 0 {
+					p.shards[i].in <- shardMsg{batch: a.subs[i], arena: a}
+				}
+			}
+		}
+	}
+	if b.LastSeq > p.lastSeq {
+		p.lastSeq = b.LastSeq
+	}
+}
+
+// Observe is the single-event convenience wrapper around the batch
+// path: it routes one event to the shard(s) owning its endpoints,
+// allocation-free and safe for concurrent use, under the same rules as
+// an unsequenced Ingest. Prefer Ingest for anything that arrives in
+// batches — per-event dispatch pays one or two channel hops per event.
 func (p *Pipeline) Observe(ev osn.Event) {
 	switch ev.Type {
 	case osn.EvFriendRequest, osn.EvFriendAccept:
 	default:
-		return // no feature in §2.2 consumes the rest of the log
+		return
 	}
 	if p.ownGraph {
 		p.extendGraph(ev)
@@ -226,57 +381,8 @@ func (p *Pipeline) Observe(ev osn.Event) {
 	st.in <- shardMsg{one: shardEvent{ev: ev, target: true}}
 }
 
-// ObserveBatch routes a whole batch of events — e.g. one wire batch
-// from the v2 feed (stream.Client.RecvBatch) or a chunk of a replayed
-// historical log — with at most one channel hop per shard instead of
-// one per event, amortizing dispatch cost. Per-shard event order is
-// the batch order, so feeding the same stream via Observe calls,
-// ObserveBatch calls, or any mix of the two flags the same set.
-// Safe for concurrent use under the same rules as Observe.
-func (p *Pipeline) ObserveBatch(evs []osn.Event) {
-	batches := make([][]shardEvent, len(p.shards))
-	for _, ev := range evs {
-		switch ev.Type {
-		case osn.EvFriendRequest, osn.EvFriendAccept:
-		default:
-			continue
-		}
-		if p.ownGraph {
-			p.extendGraph(ev)
-		}
-		ia := p.shardIdx(ev.Actor)
-		it := p.shardIdx(ev.Target)
-		if ia == it {
-			batches[ia] = append(batches[ia], shardEvent{ev: ev, actor: true, target: true})
-			continue
-		}
-		batches[ia] = append(batches[ia], shardEvent{ev: ev, actor: true})
-		batches[it] = append(batches[it], shardEvent{ev: ev, target: true})
-	}
-	for i, b := range batches {
-		if len(b) > 0 {
-			p.shards[i].in <- shardMsg{batch: b}
-		}
-	}
-}
-
-// ObserveBatchSeq is ObserveBatch for sequenced feeds: evs is one wire
-// batch whose last event carries global stream sequence lastSeq (the
-// value of stream.Client.LastSeq after RecvBatch). The pipeline
-// remembers the highest sequence applied so Snapshot can stamp its
-// cut, which is what turns a checkpoint plus the feed's
-// resume-from-sequence into exactly-once crash recovery. Sequenced
-// ingestion must come from a single goroutine (the snapshot contract
-// already requires quiescing Observe calls around Snapshot).
-func (p *Pipeline) ObserveBatchSeq(evs []osn.Event, lastSeq uint64) {
-	p.ObserveBatch(evs)
-	if lastSeq > p.lastSeq {
-		p.lastSeq = lastSeq
-	}
-}
-
-// Seq returns the highest stream sequence applied via ObserveBatchSeq
-// (zero if the pipeline has only seen unsequenced events).
+// Seq returns the highest stream sequence applied via sequenced Ingest
+// batches (zero if the pipeline has only seen unsequenced events).
 func (p *Pipeline) Seq() uint64 { return p.lastSeq }
 
 // extendGraph grows the owned graph to cover the event's accounts and
@@ -309,6 +415,57 @@ func (p *Pipeline) extendGraph(ev osn.Event) {
 	p.gmu.Unlock()
 }
 
+// extendGraphBatch is extendGraph amortized over a whole batch: one
+// write-lock acquisition grows the node range to the batch's highest
+// account and appends every accept edge in batch order, before any of
+// the batch is visible to a shard. The invariant is the same as the
+// per-event path — the graph is never behind an event a shard can see
+// — and the edge set ends up identical to per-event replay because
+// edges are added in the same order. Request-only batches between
+// known accounts take only the read lock.
+func (p *Pipeline) extendGraphBatch(evs []osn.Event) {
+	var hi graph.NodeID = -1
+	accepts := false
+	for _, ev := range evs {
+		switch ev.Type {
+		case osn.EvFriendAccept:
+			accepts = true
+		case osn.EvFriendRequest:
+		default:
+			continue
+		}
+		if ev.Actor > hi {
+			hi = ev.Actor
+		}
+		if ev.Target > hi {
+			hi = ev.Target
+		}
+	}
+	if hi < 0 {
+		return
+	}
+	if !accepts {
+		p.gmu.RLock()
+		known := graph.NodeID(p.g.NumNodes()) > hi
+		p.gmu.RUnlock()
+		if known {
+			return
+		}
+	}
+	p.gmu.Lock()
+	for graph.NodeID(p.g.NumNodes()) <= hi {
+		p.g.AddNode()
+	}
+	if accepts {
+		for _, ev := range evs {
+			if ev.Type == osn.EvFriendAccept && ev.Actor != ev.Target {
+				p.g.AddEdge(ev.Actor, ev.Target, ev.At)
+			}
+		}
+	}
+	p.gmu.Unlock()
+}
+
 // fillCC computes the clustering coefficient for v.ID, taking the
 // graph read lock only when the pipeline is mutating the graph itself.
 func (p *Pipeline) fillCC(v *features.Vector) {
@@ -329,36 +486,48 @@ func newShard(p *Pipeline) *pshard {
 		p:       p,
 		in:      make(chan shardMsg, shardBuffer),
 		tr:      features.NewTracker(p.g),
-		seen:    make(map[osn.AccountID]int),
 		flagged: make(map[osn.AccountID]Flag),
 		done:    make(chan struct{}),
 	}
 }
 
 // run is the shard loop: apply the owned side(s) of each event, then
-// evaluate the sender on its due friend requests. A barrier message
-// makes the shard serialize its partition — counters, cadence
-// positions and verdicts at exactly this point in its event order —
-// and reply before touching another event.
+// evaluate the sender on its due friend requests, then flush any
+// verdicts the message produced to the merge stage in one hop. A
+// barrier message makes the shard serialize its partition — counters,
+// cadence positions and verdicts at exactly this point in its event
+// order — and reply before touching another event.
 func (s *pshard) run() {
 	defer close(s.done)
 	for msg := range s.in {
 		switch {
 		case msg.barrier != nil:
 			msg.barrier <- s.serialize()
-		case msg.batch != nil:
+		case msg.arena != nil:
 			for _, se := range msg.batch {
 				s.handle(se)
 			}
+			s.flush()
+			msg.arena.release(s.p)
 		default:
 			s.handle(msg.one)
+			s.flush()
 		}
 	}
 }
 
+// growTo extends the handle-indexed bookkeeping to cover h.
+func (s *pshard) growTo(h features.Handle) {
+	for int(h) >= len(s.seen) {
+		s.seen = append(s.seen, 0)
+		s.flaggedAt = append(s.flaggedAt, false)
+	}
+}
+
 func (s *pshard) handle(se shardEvent) {
+	h := features.NoHandle
 	if se.actor {
-		s.tr.UpdateActor(se.ev)
+		h = s.tr.UpdateActor(se.ev)
 	}
 	if se.target {
 		s.tr.UpdateTarget(se.ev)
@@ -366,55 +535,79 @@ func (s *pshard) handle(se shardEvent) {
 	if !se.actor || se.ev.Type != osn.EvFriendRequest {
 		return
 	}
-	id := se.ev.Actor
-	if _, done := s.flagged[id]; done {
+	// An actor-side request always has a handle.
+	s.growTo(h)
+	if s.flaggedAt[h] {
 		return
 	}
-	s.seen[id]++
-	if s.seen[id]%s.p.checkEvery != 0 {
+	s.seen[h]++
+	if int(s.seen[h])%s.p.checkEvery != 0 {
 		return
 	}
-	v := s.tr.CountsOf(id)
-	s.p.fillCC(&v)
+	v := s.tr.CountsAt(h)
+	// Lazy CC: when the classifier can tell from the counter features
+	// alone that the (conjunctive) rule cannot fire, skip the
+	// clustering-coefficient walk — by the CCGated contract the verdict
+	// is unchanged, and the CC walk is the single most expensive step
+	// on the hot path.
+	if s.p.ccGate == nil || s.p.ccGate.NeedsCC(v) {
+		s.p.fillCC(&v)
+	}
 	if s.p.c.Classify(v) {
+		id := se.ev.Actor
+		if _, dup := s.flagged[id]; dup {
+			// A restored verdict for an account the tracker had no
+			// counters for (so no handle existed to mark at seed time).
+			s.flaggedAt[h] = true
+			return
+		}
 		f := Flag{ID: id, At: se.ev.At, Vector: v}
 		s.flagged[id] = f
-		s.p.flags <- f
+		s.flaggedAt[h] = true
+		s.pending = append(s.pending, f)
 	}
 }
 
-// mergeSyncID is the sentinel Flag ID Snapshot pushes through the
-// flags channel to flush the merge stage: when merge answers it on
-// syncAck, every flag enqueued before the sentinel has been recorded
-// and its hook has fired. Real account IDs are never negative.
-const mergeSyncID osn.AccountID = -1
+// flush hands the message's accumulated verdicts to the merge stage in
+// one channel send. Ownership of the slice transfers with the send;
+// flags are rare (once per account, ever), so the fresh slice per
+// flagging message is off the steady-state path.
+func (s *pshard) flush() {
+	if len(s.pending) == 0 {
+		return
+	}
+	s.p.flags <- flagMsg{flags: s.pending}
+	s.pending = nil
+}
 
-// merge collects flags from all shards into the global verdict map and
-// fires the hook, serialized. The dup check is a defensive backstop:
-// each account is owned by exactly one shard, whose local flagged map
-// already guarantees at most one Flag per account.
+// merge collects flag batches from all shards into the global verdict
+// map and fires the hook, serialized. The dup check is a defensive
+// backstop: each account is owned by exactly one shard, whose local
+// flagged map already guarantees at most one Flag per account.
 func (p *Pipeline) merge() {
 	defer close(p.mergeDone)
-	for f := range p.flags {
-		if f.ID == mergeSyncID {
+	for m := range p.flags {
+		if m.sync {
 			p.syncAck <- struct{}{}
 			continue
 		}
-		p.fmu.Lock()
-		_, dup := p.flagged[f.ID]
-		if !dup {
-			p.flagged[f.ID] = f
-		}
-		p.fmu.Unlock()
-		if !dup && p.onFlag != nil {
-			p.onFlag(f)
+		for _, f := range m.flags {
+			p.fmu.Lock()
+			_, dup := p.flagged[f.ID]
+			if !dup {
+				p.flagged[f.ID] = f
+			}
+			p.fmu.Unlock()
+			if !dup && p.onFlag != nil {
+				p.onFlag(f)
+			}
 		}
 	}
 }
 
 // Close drains every shard, stops all pipeline goroutines, and waits
-// for the merge stage to finish. All Observe calls must have returned.
-// Close is idempotent.
+// for the merge stage to finish. All ingestion calls must have
+// returned. Close is idempotent.
 func (p *Pipeline) Close() {
 	p.closeOnce.Do(func() {
 		for _, s := range p.shards {

@@ -301,11 +301,11 @@ func TestPipelineConcurrentStress(t *testing.T) {
 	p.Close() // idempotent
 }
 
-// TestObserveBatchMatchesObserve: chunked batch ingestion (any chunk
+// TestIngestMatchesObserve: chunked batch ingestion (any chunk
 // size, including a mix of batch and single-event dispatch) must flag
 // exactly the set that per-event Observe — and therefore the serial
 // Monitor — flags.
-func TestObserveBatchMatchesObserve(t *testing.T) {
+func TestIngestMatchesObserve(t *testing.T) {
 	pop := campaignLog(t, 47)
 	events := pop.Net.Events()
 	g := pop.Net.Graph()
@@ -333,7 +333,7 @@ func TestObserveBatchMatchesObserve(t *testing.T) {
 					p.Observe(ev)
 				}
 			} else {
-				p.ObserveBatch(events[i:end])
+				p.Ingest(Batch{Events: events[i:end]})
 			}
 		}
 		p.Close()
@@ -349,10 +349,123 @@ func TestObserveBatchMatchesObserve(t *testing.T) {
 	}
 }
 
-// TestObserveBatchGraphReconstruction: the batch path must also grow
+// TestIngestMatchesMonitorWithBarriers is the routing-rewrite
+// equivalence test: batch-first ingestion across shard counts
+// {1, 2, 4, 7}, with a Snapshot barrier and two live Reshards cutting
+// through the middle of the trace, must flag exactly the set the
+// serial Monitor flags. The barriers exercise the arena-ring rebuild
+// (Reshard resizes the partition tables) and the consistent-cut
+// machinery under the new sub-batch dispatch.
+func TestIngestMatchesMonitorWithBarriers(t *testing.T) {
+	pop := campaignLog(t, 83)
+	events := pop.Net.Events()
+	g := pop.Net.Graph()
+	rule := FitRule(features.Labelled(pop.Net, pop.Sybils, pop.Normals), PaperRule())
+
+	m := NewMonitor(rule, g, nil)
+	for _, ev := range events {
+		m.Observe(ev)
+	}
+	want := sortedIDs(m.FlaggedIDs())
+	if len(want) == 0 {
+		t.Fatal("monitor flagged nothing; equivalence test is vacuous")
+	}
+
+	for _, shards := range []int{1, 2, 4, 7} {
+		p := NewPipeline(rule, g, WithShards(shards))
+		const chunk = 256
+		q1, q2, q3 := len(events)/4, len(events)/2, 3*len(events)/4
+		for i := 0; i < len(events); i += chunk {
+			end := i + chunk
+			if end > len(events) {
+				end = len(events)
+			}
+			p.Ingest(Batch{Events: events[i:end]})
+			switch {
+			case i < q1 && end >= q1:
+				p.Reshard(shards + 2)
+			case i < q2 && end >= q2:
+				if snap := p.Snapshot(); len(snap.Accounts) == 0 {
+					t.Fatalf("shards=%d: mid-trace snapshot is empty", shards)
+				}
+			case i < q3 && end >= q3:
+				p.Reshard(shards)
+			}
+		}
+		p.Close()
+		got := sortedIDs(p.FlaggedIDs())
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: pipeline flagged %d, monitor %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: flagged sets differ at %d: %d vs %d", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestIngestConcurrentStress hammers the batch path from many
+// unsequenced Ingest goroutines (mixed with per-event Observe callers)
+// — the -race workout for the arena ring: concurrent callers must get
+// distinct arenas and recycling must never hand a buffer back while a
+// shard still reads it.
+func TestIngestConcurrentStress(t *testing.T) {
+	const (
+		producers = 6
+		accounts  = 1500
+		batches   = 300
+		batchLen  = 64
+	)
+	rule := Rule{OutAcceptMax: 0.9, FreqMin: 0.1, CCMax: 1.1, MinObserved: 8}
+	p := NewPipeline(rule, nil, WithShards(4), WithGraphReconstruction(), WithCheckEvery(2))
+
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := stats.NewRand(int64(200 + w))
+			evs := make([]osn.Event, 0, 2*batchLen)
+			for i := 0; i < batches; i++ {
+				evs = evs[:0]
+				for j := 0; j < batchLen; j++ {
+					from := osn.AccountID(r.Intn(accounts))
+					to := osn.AccountID(r.Intn(accounts))
+					if from == to {
+						continue
+					}
+					at := sim.Time(i*batchLen + j)
+					evs = append(evs, osn.Event{Type: osn.EvFriendRequest, At: at, Actor: from, Target: to})
+					if r.Bernoulli(0.4) {
+						evs = append(evs, osn.Event{Type: osn.EvFriendAccept, At: at + 1, Actor: to, Target: from})
+					}
+				}
+				if w%2 == 0 || i%7 != 0 {
+					p.Ingest(Batch{Events: evs})
+				} else {
+					for _, ev := range evs {
+						p.Observe(ev)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	p.Close()
+
+	if p.FlaggedCount() == 0 {
+		t.Fatal("stress run flagged nothing")
+	}
+	if p.Tracked() == 0 || p.Tracked() > accounts {
+		t.Fatalf("tracked %d accounts, want (0, %d]", p.Tracked(), accounts)
+	}
+}
+
+// TestIngestGraphReconstruction: the batch path must also grow
 // the owned graph correctly (same star-shaped, triangle-free stream as
 // TestPipelineGraphReconstruction).
-func TestObserveBatchGraphReconstruction(t *testing.T) {
+func TestIngestGraphReconstruction(t *testing.T) {
 	net := osn.NewNetwork()
 	for i := 0; i < 300; i++ {
 		net.CreateAccount(osn.Male, osn.Normal, 0)
@@ -366,7 +479,7 @@ func TestObserveBatchGraphReconstruction(t *testing.T) {
 		net.RespondFriendRequest(to, from, true, at+5)
 	}
 	p := NewPipeline(PaperRule(), nil, WithShards(3), WithGraphReconstruction())
-	p.ObserveBatch(net.Events())
+	p.Ingest(Batch{Events: net.Events()})
 	p.Close()
 	if got, src := p.Graph().NumEdges(), net.Graph().NumEdges(); got != src {
 		t.Errorf("reconstructed %d edges, source has %d", got, src)

@@ -13,6 +13,19 @@ type Classifier interface {
 	Classify(features.Vector) bool
 }
 
+// CCGated is optionally implemented by classifiers whose verdict can
+// be decided without the clustering coefficient for some vectors.
+// NeedsCC is called with a vector whose CC field is not yet filled in
+// (zero); returning false is a promise that Classify yields the same
+// verdict for every possible CC value, which lets the detectors skip
+// the CC computation — a walk over the account's first-50-friends
+// adjacency, by far the most expensive feature — entirely for that
+// evaluation. Rule satisfies it: the rule is a conjunction, so once a
+// counter-derived term fails the verdict is false regardless of CC.
+type CCGated interface {
+	NeedsCC(features.Vector) bool
+}
+
 // Monitor is the real-time pipeline: it observes a live event stream,
 // keeps per-account feature state, and re-evaluates an account's
 // classification each time that account sends a friend request. When
@@ -66,7 +79,13 @@ func (m *Monitor) Observe(ev osn.Event) {
 	if m.seen[id]%every != 0 {
 		return
 	}
-	if m.C.Classify(m.Tracker.VectorOf(id)) {
+	v := m.Tracker.CountsOf(id)
+	// Lazy CC, mirroring the Pipeline: skip the clustering walk when
+	// the classifier guarantees the counter features alone decide.
+	if g, ok := m.C.(CCGated); !ok || g.NeedsCC(v) {
+		m.Tracker.FillCC(&v)
+	}
+	if m.C.Classify(v) {
 		m.flagged[id] = true
 		if m.OnFlag != nil {
 			m.OnFlag(id, ev.At)

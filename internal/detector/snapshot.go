@@ -19,7 +19,7 @@ import (
 // resharding.
 //
 // Concurrency contract: Snapshot and Reshard must not overlap
-// Observe/ObserveBatch calls or each other (quiesce producers first;
+// Ingest/Observe calls or each other (quiesce producers first;
 // a single-goroutine consumer loop, like cmd/detectd's, just calls
 // them inline between batches). They must be called before Close.
 // Flagged/FlaggedCount remain safe to call from anywhere throughout.
@@ -69,7 +69,11 @@ func (s *pshard) serialize() shardPart {
 	states := s.tr.Export()
 	part := shardPart{accounts: make([]AccountSnapshot, len(states))}
 	for i, st := range states {
-		part.accounts[i] = AccountSnapshot{State: st, Seen: s.seen[st.ID]}
+		var seen int
+		if h, ok := s.tr.HandleOf(st.ID); ok && int(h) < len(s.seen) {
+			seen = int(s.seen[h])
+		}
+		part.accounts[i] = AccountSnapshot{State: st, Seen: seen}
 	}
 	part.flags = make([]Flag, 0, len(s.flagged))
 	for _, f := range s.flagged {
@@ -109,7 +113,7 @@ func (p *Pipeline) Snapshot() *PipelineSnapshot {
 	// acknowledge a verdict whose hook is still queued — and a crash
 	// at that point would lose the hook delivery forever, since
 	// restore deliberately does not re-fire hooks.
-	p.flags <- Flag{ID: mergeSyncID}
+	p.flags <- flagMsg{sync: true}
 	<-p.syncAck
 	snap := &PipelineSnapshot{
 		Version:    SnapshotVersion,
@@ -160,7 +164,7 @@ func NewPipelineFromSnapshot(c Classifier, g *graph.Graph, snap *PipelineSnapsho
 		g:          g,
 		checkEvery: snap.CheckEvery,
 		lastSeq:    snap.Seq,
-		flags:      make(chan Flag, 256),
+		flags:      make(chan flagMsg, 256),
 		mergeDone:  make(chan struct{}),
 		syncAck:    make(chan struct{}, 1),
 		flagged:    make(map[osn.AccountID]Flag),
@@ -174,6 +178,7 @@ func NewPipelineFromSnapshot(c Classifier, g *graph.Graph, snap *PipelineSnapsho
 	if p.checkEvery < 1 {
 		p.checkEvery = 1
 	}
+	p.ccGate, _ = p.c.(CCGated)
 	if len(p.shards) == 0 {
 		return nil, 0, fmt.Errorf("detector: snapshot has shard count %d and no WithShards override", snap.Shards)
 	}
@@ -196,6 +201,7 @@ func NewPipelineFromSnapshot(c Classifier, g *graph.Graph, snap *PipelineSnapsho
 	for _, s := range p.shards {
 		go s.run()
 	}
+	p.makeArenas()
 	go p.merge()
 	return p, snap.Seq + 1, nil
 }
@@ -213,14 +219,25 @@ func (p *Pipeline) seed(accounts []AccountSnapshot, flags []Flag, recordGlobal b
 	for _, a := range accounts {
 		i := p.shardIdx(a.State.ID)
 		buckets[i] = append(buckets[i], a.State)
-		if a.Seen > 0 {
-			p.shards[i].seen[a.State.ID] = a.Seen
-		}
 	}
 	for i, b := range buckets {
 		if err := p.shards[i].tr.Import(b); err != nil {
 			return fmt.Errorf("detector: restore: %w", err)
 		}
+	}
+	// Cadence positions go into the handle-indexed slices, which is why
+	// the tracker import must happen first (handles exist after it).
+	for _, a := range accounts {
+		if a.Seen == 0 {
+			continue
+		}
+		s := p.shardOf(a.State.ID)
+		h, ok := s.tr.HandleOf(a.State.ID)
+		if !ok {
+			return fmt.Errorf("detector: restore: account %d has no counters", a.State.ID)
+		}
+		s.growTo(h)
+		s.seen[h] = uint32(a.Seen)
 	}
 	for _, f := range flags {
 		s := p.shardOf(f.ID)
@@ -228,6 +245,10 @@ func (p *Pipeline) seed(accounts []AccountSnapshot, flags []Flag, recordGlobal b
 			return fmt.Errorf("detector: restore: duplicate flag for account %d", f.ID)
 		}
 		s.flagged[f.ID] = f
+		if h, ok := s.tr.HandleOf(f.ID); ok {
+			s.growTo(h)
+			s.flaggedAt[h] = true
+		}
 		if recordGlobal {
 			p.flagged[f.ID] = f
 		}
@@ -273,4 +294,9 @@ func (p *Pipeline) Reshard(n int) {
 	for _, s := range p.shards {
 		go s.run()
 	}
+	// The arena ring is sized to the shard count; rebuild it. Every
+	// arena is provably free here: all sub-batches dispatched before
+	// the barrier were fully consumed (and their arenas released)
+	// before the shards replied to it.
+	p.makeArenas()
 }

@@ -20,7 +20,7 @@ func snapshotWorkload(b *testing.B, accounts, shards int) *Pipeline {
 	const chunk = 256
 	evs := make([]osn.Event, 0, chunk)
 	flush := func() {
-		p.ObserveBatch(evs)
+		p.Ingest(Batch{Events: evs})
 		evs = evs[:0]
 	}
 	at := sim.Time(0)

@@ -17,7 +17,7 @@ import (
 // used to reach restore's state validation in isolation.
 var graphSnapshotEmpty = graph.Snapshot{}
 
-// feedChunks feeds events through ObserveBatchSeq in fixed-size
+// feedChunks feeds events through sequenced Ingest batches in fixed-size
 // chunks, stamping a synthetic 1-based stream sequence, and returns
 // the last sequence applied.
 func feedChunks(p *Pipeline, events []osn.Event, chunk int) uint64 {
@@ -28,7 +28,7 @@ func feedChunks(p *Pipeline, events []osn.Event, chunk int) uint64 {
 			end = len(events)
 		}
 		seq += uint64(end - i)
-		p.ObserveBatchSeq(events[i:end], seq)
+		p.Ingest(Batch{Events: events[i:end], LastSeq: seq})
 	}
 	return seq
 }
@@ -88,7 +88,7 @@ func TestSnapshotRestoreContinuesExactly(t *testing.T) {
 			if end > len(events) {
 				end = len(events)
 			}
-			p2.ObserveBatch(events[i:end])
+			p2.Ingest(Batch{Events: events[i:end]})
 		}
 		p2.Close()
 		requireSameFlags(t, fmt.Sprintf("restored at 1/%d vs monitor", cutFrac), p2.FlaggedIDs(), m.FlaggedIDs())
@@ -124,7 +124,7 @@ func TestSnapshotRestoreGraphReconstruction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2.ObserveBatch(events[cut:])
+	p2.Ingest(Batch{Events: events[cut:]})
 	p2.Close()
 
 	if !p2.Graph().Equal(full.Graph()) {
@@ -197,7 +197,7 @@ func TestRestoreShardOverride(t *testing.T) {
 		if p2.NumShards() != n {
 			t.Fatalf("restored with %d shards, want %d", p2.NumShards(), n)
 		}
-		p2.ObserveBatch(events[cut:])
+		p2.Ingest(Batch{Events: events[cut:]})
 		p2.Close()
 		requireSameFlags(t, fmt.Sprintf("restore into %d shards", n), p2.FlaggedIDs(), full.FlaggedIDs())
 	}
@@ -230,7 +230,7 @@ func TestReshardEquivalence(t *testing.T) {
 			if end > hi {
 				end = hi
 			}
-			elastic.ObserveBatch(events[j:end])
+			elastic.Ingest(Batch{Events: events[j:end]})
 		}
 		before := elastic.FlaggedCount()
 		elastic.Reshard(n)

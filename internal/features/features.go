@@ -56,8 +56,11 @@ func (v *Vector) Features() []float64 {
 	return []float64{v.Freq1h, v.Freq400h, v.OutAccept, v.InAccept, v.CC}
 }
 
-// counters is the incremental per-account state.
+// counters is the incremental per-account state. Counters live in the
+// Tracker's contiguous slab, not behind per-account pointers, so the
+// steady-state update path never allocates and stays cache-friendly.
 type counters struct {
+	id          osn.AccountID
 	outSent     int
 	outAccepted int
 	inReceived  int
@@ -66,19 +69,36 @@ type counters struct {
 	lastSent    sim.Time
 }
 
+// Handle is a Tracker-assigned dense index for one tracked account,
+// valid for the lifetime of the Tracker that issued it. Handles let
+// hot-path callers (the sharded detector) keep their own per-account
+// bookkeeping in flat slices instead of maps: handles are assigned
+// 0, 1, 2, … in first-seen order, so a slice indexed by Handle grows
+// in lockstep with the tracker.
+type Handle int32
+
+// NoHandle is returned by UpdateActor for events that touch no
+// actor-owned counter.
+const NoHandle Handle = -1
+
 // Tracker incrementally accumulates feature state from an event
 // stream. It is the real-time half of the package: feed every event to
 // Update, then call VectorOf for any account. The graph (for the
 // clustering coefficient) is consulted lazily at read time, exactly
 // like the production detector queried Renren's friendship store.
+//
+// Steady-state updates are allocation-free: counters live in one
+// contiguous slab indexed by Handle, and only first contact with a new
+// account grows it (amortized append + one map insert).
 type Tracker struct {
 	g    *graph.Graph
-	acct map[osn.AccountID]*counters
+	idx  map[osn.AccountID]Handle
+	acct []counters
 }
 
 // NewTracker creates a tracker reading friendship structure from g.
 func NewTracker(g *graph.Graph) *Tracker {
-	return &Tracker{g: g, acct: make(map[osn.AccountID]*counters)}
+	return &Tracker{g: g, idx: make(map[osn.AccountID]Handle)}
 }
 
 // Update folds one event into the feature state.
@@ -87,15 +107,19 @@ func (t *Tracker) Update(ev osn.Event) {
 	t.UpdateTarget(ev)
 }
 
-// UpdateActor folds in only the state owned by ev.Actor. Together with
-// UpdateTarget it splits Update along account-ownership lines, which is
-// what lets a sharded pipeline partition tracker state by account: the
-// shard owning ev.Actor applies UpdateActor, the shard owning ev.Target
-// applies UpdateTarget, and no counter is touched by two shards.
-func (t *Tracker) UpdateActor(ev osn.Event) {
+// UpdateActor folds in only the state owned by ev.Actor and returns
+// the actor's Handle (NoHandle when the event touches no actor-owned
+// counter). Together with UpdateTarget it splits Update along
+// account-ownership lines, which is what lets a sharded pipeline
+// partition tracker state by account: the shard owning ev.Actor
+// applies UpdateActor, the shard owning ev.Target applies
+// UpdateTarget, and no counter is touched by two shards. Returning the
+// handle saves the evaluation path a second map lookup.
+func (t *Tracker) UpdateActor(ev osn.Event) Handle {
 	switch ev.Type {
 	case osn.EvFriendRequest:
-		c := t.get(ev.Actor)
+		h := t.handle(ev.Actor)
+		c := &t.acct[h]
 		// Min/max rather than first/last seen: concurrent producers
 		// (Pipeline.Observe from several frontends) may deliver an
 		// account's requests out of timestamp order, and a negative
@@ -111,44 +135,65 @@ func (t *Tracker) UpdateActor(ev osn.Event) {
 			}
 		}
 		c.outSent++
+		return h
 	case osn.EvFriendAccept:
 		// Actor accepted Target's request.
-		t.get(ev.Actor).inAccepted++
+		h := t.handle(ev.Actor)
+		t.acct[h].inAccepted++
+		return h
 	case osn.EvFriendReject:
 		// Reject contributes to the incoming denominator only, which
 		// inReceived already counted at request time.
 	}
+	return NoHandle
 }
 
 // UpdateTarget folds in only the state owned by ev.Target.
 func (t *Tracker) UpdateTarget(ev osn.Event) {
 	switch ev.Type {
 	case osn.EvFriendRequest:
-		t.get(ev.Target).inReceived++
+		t.acct[t.handle(ev.Target)].inReceived++
 	case osn.EvFriendAccept:
-		t.get(ev.Target).outAccepted++
+		t.acct[t.handle(ev.Target)].outAccepted++
 	}
 }
 
-func (t *Tracker) get(id osn.AccountID) *counters {
-	c, ok := t.acct[id]
-	if !ok {
-		c = &counters{}
-		t.acct[id] = c
+// handle returns the dense index of id's counters, assigning a fresh
+// slab slot on first contact.
+func (t *Tracker) handle(id osn.AccountID) Handle {
+	if h, ok := t.idx[id]; ok {
+		return h
 	}
-	return c
+	h := Handle(len(t.acct))
+	t.acct = append(t.acct, counters{id: id})
+	t.idx[id] = h
+	return h
+}
+
+// HandleOf returns the handle of an already-tracked account.
+func (t *Tracker) HandleOf(id osn.AccountID) (Handle, bool) {
+	h, ok := t.idx[id]
+	return h, ok
 }
 
 // Tracked returns the number of accounts with any observed activity.
+// Handles issued by this tracker are always < Tracked().
 func (t *Tracker) Tracked() int { return len(t.acct) }
 
 // VectorOf computes the current feature vector for an account.
 func (t *Tracker) VectorOf(id osn.AccountID) Vector {
 	v := t.CountsOf(id)
-	if int(id) < t.g.NumNodes() {
-		v.CC = t.g.ClusteringFirstK(id, FirstFriendsK)
-	}
+	t.FillCC(&v)
 	return v
+}
+
+// FillCC fills in the clustering coefficient of v.ID from the
+// tracker's graph — the deferred, expensive half of VectorOf, split
+// out so detectors can skip it when their classifier doesn't need it.
+func (t *Tracker) FillCC(v *Vector) {
+	if int(v.ID) < t.g.NumNodes() {
+		v.CC = t.g.ClusteringFirstK(v.ID, FirstFriendsK)
+	}
 }
 
 // CountsOf computes the feature vector from the tracker's own counters
@@ -157,21 +202,31 @@ func (t *Tracker) VectorOf(id osn.AccountID) Vector {
 // reconstructed from the feed) use this and fill in CC under their own
 // synchronization.
 func (t *Tracker) CountsOf(id osn.AccountID) Vector {
-	v := Vector{ID: id}
-	if c, ok := t.acct[id]; ok {
-		v.OutSent = c.outSent
-		v.OutAccepted = c.outAccepted
-		v.InReceived = c.inReceived
-		v.InAccepted = c.inAccepted
-		if c.outSent > 0 {
-			v.OutAccept = float64(c.outAccepted) / float64(c.outSent)
-			span := c.lastSent - c.firstSent
-			v.Freq1h = perWindow(c.outSent, span, sim.TicksPerHour)
-			v.Freq400h = perWindow(c.outSent, span, 400*sim.TicksPerHour)
-		}
-		if v.InReceived > 0 {
-			v.InAccept = float64(c.inAccepted) / float64(c.inReceived)
-		}
+	if h, ok := t.idx[id]; ok {
+		return t.CountsAt(h)
+	}
+	return Vector{ID: id}
+}
+
+// CountsAt is CountsOf by handle — the map-free form the sharded
+// detector's evaluation path uses.
+func (t *Tracker) CountsAt(h Handle) Vector {
+	c := &t.acct[h]
+	v := Vector{
+		ID:          c.id,
+		OutSent:     c.outSent,
+		OutAccepted: c.outAccepted,
+		InReceived:  c.inReceived,
+		InAccepted:  c.inAccepted,
+	}
+	if c.outSent > 0 {
+		v.OutAccept = float64(c.outAccepted) / float64(c.outSent)
+		span := c.lastSent - c.firstSent
+		v.Freq1h = perWindow(c.outSent, span, sim.TicksPerHour)
+		v.Freq400h = perWindow(c.outSent, span, 400*sim.TicksPerHour)
+	}
+	if v.InReceived > 0 {
+		v.InAccept = float64(c.inAccepted) / float64(c.inReceived)
 	}
 	return v
 }

@@ -33,9 +33,10 @@ type AccountState struct {
 // cleanly run to run).
 func (t *Tracker) Export() []AccountState {
 	out := make([]AccountState, 0, len(t.acct))
-	for id, c := range t.acct {
+	for i := range t.acct {
+		c := &t.acct[i]
 		out = append(out, AccountState{
-			ID:          id,
+			ID:          c.id,
 			OutSent:     c.outSent,
 			OutAccepted: c.outAccepted,
 			InReceived:  c.inReceived,
@@ -55,10 +56,12 @@ func (t *Tracker) Export() []AccountState {
 // not deltas, so merging them would double-count).
 func (t *Tracker) Import(states []AccountState) error {
 	for _, st := range states {
-		if _, dup := t.acct[st.ID]; dup {
+		if _, dup := t.idx[st.ID]; dup {
 			return fmt.Errorf("features: import: account %d already tracked", st.ID)
 		}
-		t.acct[st.ID] = &counters{
+		h := t.handle(st.ID)
+		t.acct[h] = counters{
+			id:          st.ID,
 			outSent:     st.OutSent,
 			outAccepted: st.OutAccepted,
 			inReceived:  st.InReceived,

@@ -273,7 +273,7 @@ func (c *Client) Recv() (osn.Event, error) {
 
 // RecvBatch blocks for the next batch of events, handing over whole
 // wire batches so consumers can amortize their own per-event costs
-// (e.g. detector.Pipeline.ObserveBatch). The returned slice is only
+// (e.g. feeding detector.Pipeline.Ingest). The returned slice is only
 // valid until the next Recv or RecvBatch call.
 func (c *Client) RecvBatch() ([]osn.Event, error) {
 	if len(c.pending) == 0 {

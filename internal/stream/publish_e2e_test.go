@@ -77,7 +77,7 @@ func TestMultiProducerFlagEquality(t *testing.T) {
 	// Reference: serial replay of the canonical single-producer order,
 	// graph rebuilt from the feed alone (as detectd would).
 	ref := detector.NewPipeline(rule, nil, detector.WithShards(1), detector.WithGraphReconstruction())
-	ref.ObserveBatch(events)
+	ref.Ingest(detector.Batch{Events: events})
 	ref.Close()
 	want := ref.FlaggedIDs()
 	if len(want) == 0 {
@@ -109,7 +109,9 @@ func TestMultiProducerFlagEquality(t *testing.T) {
 	pipe := detector.NewPipeline(rule, nil, detector.WithShards(4), detector.WithGraphReconstruction())
 	subDone := make(chan error, 1)
 	go func() {
-		subDone <- SubscribeBatch(srv.Addr(), pipe.ObserveBatch, 10)
+		subDone <- SubscribeBatch(srv.Addr(), func(evs []osn.Event) {
+			pipe.Ingest(detector.Batch{Events: evs})
+		}, 10)
 	}()
 	deadline := time.Now().Add(10 * time.Second)
 	for srv.NumClients() == 0 && time.Now().Before(deadline) {
