@@ -6,14 +6,14 @@ GO ?= go
 # Output file for bench-json; bump the number each PR that refreshes
 # the committed perf baseline. BENCH_BASE is the previous PR's
 # committed baseline that the fresh run is diffed against.
-BENCH_OUT ?= BENCH_6.json
-BENCH_BASE ?= BENCH_5.json
+BENCH_OUT ?= BENCH_7.json
+BENCH_BASE ?= BENCH_6.json
 
 # Pinned staticcheck release; CI and local runs must agree on the
 # check set, so bump this deliberately, not implicitly.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test race bench bench-json bench-gate profile fmt vet docs staticcheck ci
+.PHONY: all build test race bench bench-json bench-gate fuzz-smoke profile fmt vet docs staticcheck ci
 
 all: build
 
@@ -45,11 +45,31 @@ bench-json:
 # extra shards only add channel hops and no parallelism). A relative
 # gate within one run survives noisy shared hardware; CI's bench-smoke
 # job fails loudly when it trips.
+#
+# The partitioned-cluster gate bounds 4 partition-gated pipelines
+# against 1 whole-feed pipeline. Total cluster work at K=4 is ~2.7x
+# the single log (accepts replicate to every partition, requests to
+# two) and single-core runners serialize the workers, so the bound is
+# 4x: loose enough to pass where no parallelism exists, tight enough
+# to catch filtering or contention pathologies.
 bench-gate:
 	$(GO) test -bench=BenchmarkPipelineBatch -benchtime=1x -run='^$$' . | \
 		$(GO) run ./cmd/benchjson \
 		-gate 'BenchmarkPipelineBatch/shards=4<=BenchmarkPipelineBatch/shards=1*1.25' \
 		> /dev/null
+	$(GO) test -bench=BenchmarkPartitionedIngest -benchtime=1x -run='^$$' ./internal/cluster | \
+		$(GO) run ./cmd/benchjson \
+		-gate 'BenchmarkPartitionedIngest/workers=4<=BenchmarkPartitionedIngest/workers=1*4.0' \
+		> /dev/null
+
+# Short deterministic fuzz pass over the wire codecs: each target runs
+# its committed corpus plus a few seconds of new coverage-guided
+# inputs. Crashes fail the build; new interesting inputs stay in the
+# local build cache (promote them to testdata/fuzz to commit them).
+fuzz-smoke:
+	@for tgt in FuzzBatch FuzzPBatch FuzzFBatch FuzzSnapHeader FuzzReadFrame; do \
+		$(GO) test ./internal/wire/ -run='^$$' -fuzz "^$$tgt$$" -fuzztime 5s || exit 1; \
+	done
 
 # CPU + allocation profiles of the batch ingest hot path. Inspect with
 # `go tool pprof cpu.pprof` / `go tool pprof -sample_index=alloc_objects mem.pprof`.

@@ -31,13 +31,30 @@
 // live — useful against a streamd broker whose campaign is already
 // streaming or complete.
 //
+// With -partition i/K the daemon joins a detection cluster: the
+// broker filters its subscription down to partition i of K (owned
+// actors plus the cross-partition support events their features need)
+// and the pipeline flags only accounts it owns, so K such daemons
+// jointly produce exactly the flag set one unpartitioned daemon would
+// (see docs/ARCHITECTURE.md, "Partitioned cluster"). Adding -handoff
+// makes the partition migratable over the wire: the daemon offers its
+// snapshot to the broker at every checkpoint interval and on clean
+// shutdown, and a fresh daemon with no local checkpoint adopts the
+// broker's freshest offer — resuming from the snapshot's stamped
+// sequence instead of replaying the partition's history. A local
+// checkpoint, when present, takes precedence over a broker offer; its
+// stamped partition must match -partition or the daemon refuses to
+// start.
+//
 // Usage:
 //
 //	detectd -addr 127.0.0.1:7474 -shards 8 \
 //	        -checkpoint-dir /var/lib/detectd -checkpoint-every 10s
+//	detectd -addr 127.0.0.1:7474 -partition 2/4 -handoff
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -62,6 +79,10 @@ type daemon struct {
 	store *checkpoint.Store // nil: checkpointing disabled
 	p     *detector.Pipeline
 
+	addr        string // broker address (snapshot offers dial it separately)
+	part, parts int    // cluster partition (parts 0: whole feed)
+	handoff     bool   // offer snapshots to the broker for handoff
+
 	session string // stream session id ("" until first dial)
 	resume  uint64 // sequence to resume from (0: fresh subscription)
 	written uint64 // sequence covered by the newest durable checkpoint
@@ -70,7 +91,22 @@ type daemon struct {
 	current *stream.Client // connection to kick on shutdown
 	stop    atomic.Bool
 
-	events, batches, checkpoints int
+	events, batches, checkpoints, offers int
+}
+
+// parsePartition decodes an "i/K" cluster coordinate; "" means an
+// unpartitioned whole-feed subscription.
+func parsePartition(s string) (part, parts int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	if n, err := fmt.Sscanf(s, "%d/%d", &part, &parts); n != 2 || err != nil {
+		return 0, 0, fmt.Errorf("-partition %q: want i/K, e.g. 0/4", s)
+	}
+	if parts < 1 || part < 0 || part >= parts {
+		return 0, 0, fmt.Errorf("-partition %q: partition index out of range", s)
+	}
+	return part, parts, nil
 }
 
 func main() {
@@ -91,8 +127,17 @@ func main() {
 		ckptKeep   = flag.Int("checkpoint-keep", checkpoint.DefaultKeep, "checkpoint generations to retain")
 		ckptMaxLag = flag.Int("checkpoint-max-lag", stream.DefaultReplayBuffer/2,
 			"checkpoint early once this many events are applied past the last checkpoint; must stay below the feed's replay window unless the feed runs a disk spool, where 0 disables the trigger")
+		partition = flag.String("partition", "", "subscribe as partition i/K of a detection cluster (e.g. 0/4; empty: whole feed)")
+		handoff   = flag.Bool("handoff", false, "offer pipeline snapshots to the broker every -checkpoint-every and adopt the partition's freshest broker snapshot on a start with no local checkpoint (requires -partition)")
 	)
 	flag.Parse()
+	part, parts, err := parsePartition(*partition)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *handoff && parts == 0 {
+		log.Fatal("-handoff requires -partition: snapshot handoff is keyed by cluster partition")
+	}
 	if *ckptDir != "" && *ckptMaxLag < 0 {
 		log.Fatal("-checkpoint-max-lag must not be negative")
 	}
@@ -121,8 +166,11 @@ func main() {
 				f.ID, f.At, f.Vector.Freq1h, f.Vector.OutAccept, f.Vector.CC, f.Vector.OutSent)
 		}),
 	}
+	if parts > 0 {
+		opts = append(opts, detector.WithPartition(part, parts))
+	}
 
-	d := &daemon{}
+	d := &daemon{addr: *addr, part: part, parts: parts, handoff: *handoff}
 	if *ckptDir != "" {
 		store, err := checkpoint.Open(*ckptDir, *ckptKeep)
 		if err != nil {
@@ -147,6 +195,35 @@ func main() {
 			d.written = st.Snapshot.Seq
 			fmt.Printf("restored %s: %d accounts, %d flags, resuming feed at seq %d\n",
 				path, len(st.Snapshot.Accounts), len(st.Snapshot.Flags), from)
+		}
+	}
+	if d.p == nil && *handoff {
+		// No local checkpoint: adopt the partition's freshest broker
+		// snapshot, if a predecessor offered one, and resume the feed
+		// from the sequence it is stamped at — state migration over
+		// the wire instead of a spool replay.
+		seq, data, err := stream.FetchSnapshot(*addr, part, parts)
+		switch {
+		case err == nil:
+			var snap detector.PipelineSnapshot
+			if err := json.Unmarshal(data, &snap); err != nil {
+				log.Fatalf("decode broker snapshot: %v", err)
+			}
+			if snap.Seq != seq {
+				log.Fatalf("broker snapshot announced seq %d but is stamped %d", seq, snap.Seq)
+			}
+			p, from, err := detector.NewPipelineFromSnapshot(rule, nil, &snap, opts...)
+			if err != nil {
+				log.Fatalf("adopt broker snapshot: %v", err)
+			}
+			d.p = p
+			d.resume = from
+			fmt.Printf("adopted broker snapshot for partition %d/%d: %d accounts, %d flags, resuming feed at seq %d\n",
+				part, parts, len(snap.Accounts), len(snap.Flags), from)
+		case errors.Is(err, stream.ErrNoSnapshot):
+			fmt.Printf("no broker snapshot offered for partition %d/%d; cold start\n", part, parts)
+		default:
+			log.Fatalf("fetch broker snapshot: %v", err)
 		}
 	}
 	if d.p == nil {
@@ -182,16 +259,21 @@ func main() {
 		log.Fatal("second signal: exiting without checkpoint")
 	}()
 
-	err := d.run(*addr, *retries, *ckptEvery, uint64(*ckptMaxLag))
+	err = d.run(*addr, *retries, *ckptEvery, uint64(*ckptMaxLag))
 	if d.store != nil {
 		d.finalCheckpoint()
+	}
+	if d.handoff {
+		// Park the end state at the broker so a planned successor
+		// adopts it with zero replay.
+		d.offerSnapshot(d.p.Snapshot())
 	}
 	d.p.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("feed ended: %d events in %d batches, %d checkpoints, %d accounts tracked, %d flagged\n",
-		d.events, d.batches, d.checkpoints, d.p.Tracked(), d.p.FlaggedCount())
+	fmt.Printf("feed ended: %d events in %d batches, %d checkpoints, %d snapshot offers, %d accounts tracked, %d flagged\n",
+		d.events, d.batches, d.checkpoints, d.offers, d.p.Tracked(), d.p.FlaggedCount())
 }
 
 // run is the ingest loop: dial (or resume), drain batches into the
@@ -215,17 +297,21 @@ func (d *daemon) run(addr string, maxRetries int, every time.Duration, maxLag ui
 		if d.stop.Load() {
 			return nil
 		}
+		var dialOpts []stream.DialOption
+		if d.parts > 0 {
+			dialOpts = append(dialOpts, stream.WithPartition(d.part, d.parts))
+		}
 		var c *stream.Client
 		var err error
 		switch {
 		case d.session != "":
-			c, err = stream.DialResume(addr, d.session, d.resume)
+			c, err = stream.DialResume(addr, d.session, d.resume, dialOpts...)
 		case d.resume > 0:
-			// -from-start backfill: a fresh session that asks for the
-			// feed's history (spool-served) before flipping live.
-			c, err = stream.DialFrom(addr, d.resume)
+			// -from-start backfill or snapshot handoff: a fresh session
+			// that asks for history (spool-served) before flipping live.
+			c, err = stream.DialFrom(addr, d.resume, dialOpts...)
 		default:
-			c, err = stream.Dial(addr)
+			c, err = stream.Dial(addr, dialOpts...)
 		}
 		if err != nil {
 			if errors.Is(err, stream.ErrGap) {
@@ -280,19 +366,28 @@ func (d *daemon) run(addr string, maxRetries int, every time.Duration, maxLag ui
 			// events the in-memory pipeline already applied (a blip
 			// whose pre-resume checkpoint failed); counters are not
 			// idempotent, so drop everything at or below the pipeline's
-			// own sequence.
+			// own sequence. Partitioned batches are sparse in the
+			// global order and carry per-event sequences, so the trim
+			// walks those instead of doing contiguous arithmetic.
 			last := c.LastSeq()
 			if last <= d.p.Seq() {
 				continue
 			}
-			if first := last - uint64(len(evs)) + 1; first <= d.p.Seq() {
+			if seqs := c.LastBatchSeqs(); seqs != nil {
+				drop := 0
+				for drop < len(seqs) && seqs[drop] <= d.p.Seq() {
+					drop++
+				}
+				evs = evs[drop:]
+			} else if first := last - uint64(len(evs)) + 1; first <= d.p.Seq() {
 				evs = evs[d.p.Seq()-first+1:]
 			}
 			d.p.Ingest(detector.Batch{Events: evs, LastSeq: last})
 			d.events += len(evs)
 			d.batches++
-			if d.store != nil && (time.Since(lastCkpt) >= every ||
-				(maxLag > 0 && d.p.Seq()-d.written >= maxLag)) {
+			interval := time.Since(lastCkpt) >= every
+			lag := d.store != nil && maxLag > 0 && d.p.Seq()-d.written >= maxLag
+			if (d.store != nil || d.handoff) && (interval || lag) {
 				d.writeCheckpoint(c)
 				lastCkpt = time.Now()
 			}
@@ -341,13 +436,22 @@ func (d *daemon) run(addr string, maxRetries int, every time.Duration, maxLag ui
 	}
 }
 
-// writeCheckpoint snapshots the pipeline, persists it, and — once the
-// file is durable — acknowledges the feed through the snapshot's
-// sequence (when a live connection is available to carry the ack).
-// Failures are logged, not fatal: the daemon keeps detecting and the
-// previous checkpoint generation keeps crash recovery possible.
+// writeCheckpoint snapshots the pipeline, persists it (when a local
+// store is configured), and — once the file is durable — acknowledges
+// the feed through the snapshot's sequence (when a live connection is
+// available to carry the ack). With -handoff the same snapshot is
+// also offered to the broker for cluster handoff. Failures are
+// logged, not fatal: the daemon keeps detecting, the previous
+// checkpoint generation keeps crash recovery possible, and the
+// broker's previous offer (or the spool) keeps handoff possible.
 func (d *daemon) writeCheckpoint(c *stream.Client) {
 	snap := d.p.Snapshot()
+	if d.handoff {
+		d.offerSnapshot(snap)
+	}
+	if d.store == nil {
+		return
+	}
 	if _, err := d.store.Write(d.session, snap); err != nil {
 		log.Printf("checkpoint failed (previous generation still valid): %v", err)
 		return
@@ -357,6 +461,24 @@ func (d *daemon) writeCheckpoint(c *stream.Client) {
 	if c != nil {
 		c.Ack(snap.Seq)
 	}
+}
+
+// offerSnapshot publishes a snapshot to the broker's handoff
+// rendezvous, keyed by this daemon's cluster partition. Best-effort.
+func (d *daemon) offerSnapshot(snap *detector.PipelineSnapshot) {
+	if snap.Seq == 0 {
+		return // nothing applied yet; nothing worth adopting
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		log.Printf("snapshot offer failed to encode: %v", err)
+		return
+	}
+	if err := stream.OfferSnapshot(d.addr, d.part, d.parts, snap.Seq, data); err != nil {
+		log.Printf("snapshot offer failed (broker keeps the previous offer): %v", err)
+		return
+	}
+	d.offers++
 }
 
 // finalCheckpoint persists the pipeline's end state so the next start

@@ -20,6 +20,13 @@
 // past the in-memory window — regardless of which producer each
 // event came from.
 //
+// Subscribers may also join partitioned (detectd -partition i/K): the
+// broker filters each such session's feed down to its partition's
+// slice and keeps one detector snapshot per partition in a handoff
+// rendezvous, so a replacement worker adopts its predecessor's state
+// over the wire (see docs/ARCHITECTURE.md, "Partitioned cluster").
+// Held snapshots are reported in the end-of-feed audit.
+//
 // Usage:
 //
 //	streamd -addr 127.0.0.1:7474 -spool-dir /var/lib/streamd/spool
@@ -122,6 +129,10 @@ func main() {
 		}
 		fmt.Printf("session %s (%s): behind=%d window=%d/%d (%.0f%% full)\n",
 			ss.ID, state, ss.Behind, ss.Buffered, ss.Window, 100*ss.Fill)
+	}
+	for _, sn := range st.Snapshots {
+		fmt.Printf("snapshot %d/%d: seq=%d bytes=%d held for handoff\n",
+			sn.Part, sn.Parts, sn.Seq, sn.Bytes)
 	}
 	srv.Close() // blocks until every subscriber drained (or the drain timeout cut it off)
 	st = srv.Stats()

@@ -1,0 +1,246 @@
+package cluster_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sybilwild/internal/agents"
+	"sybilwild/internal/cluster"
+	"sybilwild/internal/detector"
+	"sybilwild/internal/features"
+	"sybilwild/internal/osn"
+	"sybilwild/internal/sim"
+	"sybilwild/internal/spool"
+	"sybilwild/internal/stream"
+)
+
+// campaign caches one simulated Sybil campaign and its fitted rule:
+// both the equality test and the benchmark replay the same feed, and
+// the simulation dominates setup cost.
+var campaign struct {
+	once   sync.Once
+	events []osn.Event
+	rule   detector.Rule
+}
+
+func campaignFeed() ([]osn.Event, detector.Rule) {
+	campaign.once.Do(func() {
+		pop := agents.NewPopulation(61, agents.DefaultParams())
+		pop.Bootstrap(1500)
+		pop.LaunchSybils(25, 50*sim.TicksPerHour)
+		pop.RunFor(200 * sim.TicksPerHour)
+		campaign.events = pop.Net.Events()
+		campaign.rule = detector.FitRule(
+			features.Labelled(pop.Net, pop.Sybils, pop.Normals), detector.PaperRule())
+	})
+	return campaign.events, campaign.rule
+}
+
+// clusterServer builds a spool-backed broker: the spool retains the
+// whole feed, so a replacement worker can backfill any resume point
+// regardless of the in-memory window.
+func clusterServer(t *testing.T) *stream.Server {
+	t.Helper()
+	sp, err := spool.Open(t.TempDir(), spool.WithSegmentBytes(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sp.Close() })
+	srv, err := stream.NewServer("127.0.0.1:0",
+		stream.WithReplayBuffer(4096), stream.WithSpool(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func flagSet(ids []osn.AccountID) map[osn.AccountID]bool {
+	set := make(map[osn.AccountID]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	return set
+}
+
+// TestPartitionedClusterFlagEquality is the PR's acceptance test: for
+// K in {2, 3, 5}, K workers each subscribing to one partition of a
+// broker feed must jointly flag exactly the accounts a single
+// unpartitioned pipeline flags over the same event log — with one
+// worker killed mid-campaign and replaced via broker snapshot handoff,
+// and with the replacement applying no event at or below its
+// snapshot's stamped sequence (zero spool replay into adopted state).
+func TestPartitionedClusterFlagEquality(t *testing.T) {
+	events, rule := campaignFeed()
+
+	single := detector.NewPipeline(rule, nil, detector.WithGraphReconstruction())
+	single.Ingest(detector.Batch{Events: events})
+	single.Close()
+	want := flagSet(single.FlaggedIDs())
+	if len(want) == 0 {
+		t.Fatal("single pipeline flagged nothing; equivalence test is vacuous")
+	}
+
+	for _, k := range []int{2, 3, 5} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			srv := clusterServer(t)
+			workers := make([]*cluster.Worker, k)
+			for part := 0; part < k; part++ {
+				w, err := cluster.Start(cluster.Config{
+					Addr: srv.Addr(), Part: part, Parts: k,
+					Rule: rule, Shards: 2, CheckEvery: 1,
+					SnapshotEvery: 4, Handoff: true,
+				})
+				if err != nil {
+					t.Fatalf("start worker %d/%d: %v", part, k, err)
+				}
+				workers[part] = w
+			}
+
+			// First leg of the campaign, then wait for the victim to
+			// have parked at least one snapshot at the broker.
+			cut := 2 * len(events) / 5
+			for _, ev := range events[:cut] {
+				srv.Broadcast(ev)
+			}
+			victim := workers[0]
+			deadline := time.Now().Add(10 * time.Second)
+			for victim.OfferedSeq() == 0 {
+				if time.Now().After(deadline) {
+					t.Fatal("victim never offered a snapshot to the broker")
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+
+			// Crash the victim and adopt its partition on a fresh
+			// worker from the broker's snapshot.
+			victim.Kill()
+			if err := victim.Wait(); err == nil {
+				t.Fatal("killed worker reported a clean end of feed")
+			}
+			repl, err := cluster.Start(cluster.Config{
+				Addr: srv.Addr(), Part: 0, Parts: k,
+				Rule: rule, Shards: 2, CheckEvery: 1,
+				SnapshotEvery: 4, Handoff: true,
+			})
+			if err != nil {
+				t.Fatalf("start replacement: %v", err)
+			}
+			workers[0] = repl
+			if repl.HandoffSeq() == 0 {
+				t.Fatal("replacement cold-started despite an offered snapshot")
+			}
+			if repl.HandoffSeq() < victim.OfferedSeq() {
+				t.Fatalf("replacement adopted seq %d, victim had offered %d",
+					repl.HandoffSeq(), victim.OfferedSeq())
+			}
+			if repl.ResumedFrom() != repl.HandoffSeq()+1 {
+				t.Fatalf("replacement resumed from %d, want snapshot seq %d + 1",
+					repl.ResumedFrom(), repl.HandoffSeq())
+			}
+
+			// Rest of the campaign, clean shutdown, then the union check.
+			for _, ev := range events[cut:] {
+				srv.Broadcast(ev)
+			}
+			if err := srv.Close(); err != nil {
+				t.Fatalf("broker close: %v", err)
+			}
+			union := make(map[osn.AccountID]int)
+			for part, w := range workers {
+				if err := w.Wait(); err != nil {
+					t.Fatalf("worker %d/%d: %v", part, k, err)
+				}
+				if got := w.Pipeline().Seq(); got != uint64(len(events)) {
+					t.Fatalf("worker %d/%d stopped at seq %d, feed ended at %d",
+						part, k, got, len(events))
+				}
+				for _, id := range w.Pipeline().FlaggedIDs() {
+					if osn.Partition(id, k) != part {
+						t.Fatalf("worker %d/%d flagged account %d owned by partition %d",
+							part, k, id, osn.Partition(id, k))
+					}
+					union[id]++
+				}
+			}
+			if first := repl.FirstApplied(); first <= repl.HandoffSeq() {
+				t.Fatalf("replacement replayed seq %d at or below its snapshot cut %d",
+					first, repl.HandoffSeq())
+			}
+			for id, n := range union {
+				if n != 1 {
+					t.Fatalf("account %d flagged by %d workers", id, n)
+				}
+				if !want[id] {
+					t.Fatalf("cluster flagged %d, single run did not", id)
+				}
+			}
+			if len(union) != len(want) {
+				t.Fatalf("cluster flagged %d accounts, single run flagged %d",
+					len(union), len(want))
+			}
+		})
+	}
+}
+
+// TestWorkerInvalidPartition: the harness rejects partitions the
+// broker would reject, before dialing anything.
+func TestWorkerInvalidPartition(t *testing.T) {
+	for _, bad := range []struct{ part, parts int }{{0, 0}, {-1, 2}, {2, 2}, {5, 3}} {
+		if _, err := cluster.Start(cluster.Config{
+			Addr: "127.0.0.1:0", Part: bad.part, Parts: bad.parts,
+			Rule: detector.PaperRule(),
+		}); err == nil {
+			t.Fatalf("Start(%d/%d) succeeded, want error", bad.part, bad.parts)
+		}
+	}
+}
+
+// BenchmarkPartitionedIngest compares one pipeline ingesting the whole
+// campaign against four partition-gated pipelines each ingesting their
+// delivered slice in parallel — the in-process core of the cluster
+// scaling claim, with the broker hop factored out. Total work at K=4
+// is ~2.7x the single log (accepts replicate to every partition,
+// requests to two), and single-core CI runners serialize the workers,
+// so the bench gate holds workers=4 to at most 4x workers=1: loose
+// enough to pass where no parallelism exists, tight enough to catch
+// the filtering or contention pathologies it is there for.
+func BenchmarkPartitionedIngest(b *testing.B) {
+	events, rule := campaignFeed()
+	for _, workers := range []int{1, 4} {
+		slices := make([][]osn.Event, workers)
+		if workers == 1 {
+			slices[0] = events
+		} else {
+			for _, ev := range events {
+				for part := 0; part < workers; part++ {
+					if osn.PartitionDelivers(ev, part, workers) {
+						slices[part] = append(slices[part], ev)
+					}
+				}
+			}
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for part := 0; part < workers; part++ {
+					opts := []detector.PipelineOption{detector.WithGraphReconstruction()}
+					if workers > 1 {
+						opts = append(opts, detector.WithPartition(part, workers))
+					}
+					p := detector.NewPipeline(rule, nil, opts...)
+					wg.Add(1)
+					go func(part int) {
+						defer wg.Done()
+						p.Ingest(detector.Batch{Events: slices[part]})
+						p.Close()
+					}(part)
+				}
+				wg.Wait()
+			}
+		})
+	}
+}

@@ -42,6 +42,16 @@ type Pipeline struct {
 	ccGate     CCGated // p.c when it implements CCGated, else nil
 	checkEvery int
 
+	// Cluster partition (WithPartition): the pipeline evaluates and
+	// flags only accounts it owns (osn.Partition(actor, parts) == part)
+	// while still applying every delivered event to its counters —
+	// support events from foreign partitions (replicated accepts,
+	// target-routed requests) feed owned accounts' features without
+	// granting this worker verdict authority over their actors.
+	// parts == 0 means unpartitioned: evaluate everyone.
+	part  int
+	parts int
+
 	// Graph access. In the default mode g is a caller-provided graph
 	// that must not be mutated while the pipeline runs, and gmu is
 	// unused. With WithGraphReconstruction the pipeline owns g, grows
@@ -199,6 +209,24 @@ func WithFlagHook(fn func(Flag)) PipelineOption {
 	return func(p *Pipeline) { p.onFlag = fn }
 }
 
+// WithPartition restricts the pipeline's verdict authority to one
+// account partition of a detection cluster: only accounts with
+// osn.Partition(id, parts) == part are evaluated and flagged. Every
+// ingested event still updates counters — a partitioned feed
+// (stream.WithPartition) delivers exactly the owned slice plus the
+// cross-partition support events the owned accounts' features need,
+// and gating evaluation (not ingestion) on ownership is what makes
+// the union of K partitioned workers' flag sets equal a single
+// unpartitioned run. parts <= 1 means the full feed (unpartitioned).
+func WithPartition(part, parts int) PipelineOption {
+	return func(p *Pipeline) {
+		p.part, p.parts = part, parts
+		if p.parts <= 1 {
+			p.part, p.parts = 0, 0
+		}
+	}
+}
+
 // WithGraphReconstruction has the pipeline build its own friendship
 // graph from the accept events it observes, the way detectd
 // reconstructs Renren's store from the feed. The graph argument to
@@ -241,6 +269,9 @@ func NewPipeline(c Classifier, g *graph.Graph, opts ...PipelineOption) *Pipeline
 	}
 	if p.checkEvery < 1 {
 		p.checkEvery = 1
+	}
+	if p.parts > 0 && (p.part < 0 || p.part >= p.parts) {
+		panic("detector: WithPartition part out of range")
 	}
 	p.ccGate, _ = p.c.(CCGated)
 	if p.ownGraph {
@@ -535,6 +566,12 @@ func (s *pshard) handle(se shardEvent) {
 	if !se.actor || se.ev.Type != osn.EvFriendRequest {
 		return
 	}
+	if s.p.parts > 0 && osn.Partition(se.ev.Actor, s.p.parts) != s.p.part {
+		// Support event: its counter updates feed owned accounts'
+		// features, but the actor belongs to another partition, whose
+		// worker holds sole verdict authority over it.
+		return
+	}
 	// An actor-side request always has a handle.
 	s.growTo(h)
 	if s.flaggedAt[h] {
@@ -623,6 +660,10 @@ func (p *Pipeline) Close() {
 
 // NumShards returns the shard count.
 func (p *Pipeline) NumShards() int { return len(p.shards) }
+
+// Partition returns the pipeline's cluster partition (part, parts);
+// parts == 0 means unpartitioned.
+func (p *Pipeline) Partition() (part, parts int) { return p.part, p.parts }
 
 // Flagged reports whether an account has been flagged. Safe to call
 // while the pipeline runs; a flag becomes visible once the merge stage

@@ -43,9 +43,15 @@ type AccountSnapshot struct {
 // the cut. Restoring it and resuming the feed from Seq+1 reproduces
 // the uninterrupted run exactly.
 type PipelineSnapshot struct {
-	Version    int               `json:"version"`
-	Seq        uint64            `json:"seq"`
-	Shards     int               `json:"shards"`
+	Version int    `json:"version"`
+	Seq     uint64 `json:"seq"`
+	Shards  int    `json:"shards"`
+	// Part/Parts record the cluster partition the pipeline evaluated
+	// (WithPartition); zero Parts means an unpartitioned run. A
+	// snapshot is only restorable into the same partition — its
+	// counters cover exactly that slice of the feed.
+	Part       int               `json:"part,omitempty"`
+	Parts      int               `json:"parts,omitempty"`
 	CheckEvery int               `json:"check_every"`
 	Accounts   []AccountSnapshot `json:"accounts"`
 	Flags      []Flag            `json:"flags,omitempty"`
@@ -119,6 +125,8 @@ func (p *Pipeline) Snapshot() *PipelineSnapshot {
 		Version:    SnapshotVersion,
 		Seq:        p.lastSeq,
 		Shards:     len(p.shards),
+		Part:       p.part,
+		Parts:      p.parts,
 		CheckEvery: p.checkEvery,
 	}
 	n, nf := 0, 0
@@ -151,7 +159,10 @@ func (p *Pipeline) Snapshot() *PipelineSnapshot {
 // check cadence default to the snapshot's; options may override them —
 // restoring under a different WithShards value is a restart-time
 // reshard, and the flag hook must be re-installed here since hooks
-// don't serialize. Restored flags do not re-fire the hook. Whether the
+// don't serialize. The cluster partition is not overridable: the
+// restored pipeline evaluates the snapshot's Part/Parts slice, and a
+// WithPartition option naming any other partition is an error.
+// Restored flags do not re-fire the hook. Whether the
 // pipeline owns its graph follows the snapshot: a snapshot with a
 // graph restores into reconstruction mode (the g argument is ignored),
 // one without needs the same static graph the original run used.
@@ -163,6 +174,8 @@ func NewPipelineFromSnapshot(c Classifier, g *graph.Graph, snap *PipelineSnapsho
 		c:          c,
 		g:          g,
 		checkEvery: snap.CheckEvery,
+		part:       snap.Part,
+		parts:      snap.Parts,
 		lastSeq:    snap.Seq,
 		flags:      make(chan flagMsg, 256),
 		mergeDone:  make(chan struct{}),
@@ -174,6 +187,15 @@ func NewPipelineFromSnapshot(c Classifier, g *graph.Graph, snap *PipelineSnapsho
 	}
 	for _, o := range opts {
 		o(p)
+	}
+	if p.part != snap.Part || p.parts != snap.Parts {
+		// The snapshot's counters cover exactly one slice of the feed;
+		// adopting them under any other partition would evaluate
+		// accounts from half-seen state. Restores inherit the
+		// snapshot's partition — a WithPartition override may only
+		// restate it.
+		return nil, 0, fmt.Errorf("detector: snapshot is for partition %d/%d, restore asked for %d/%d",
+			snap.Part, snap.Parts, p.part, p.parts)
 	}
 	if p.checkEvery < 1 {
 		p.checkEvery = 1

@@ -41,22 +41,57 @@ type Client struct {
 	bw      *bufio.Writer
 	session string
 
+	// Partitioned subscription (WithPartition); parts == 0 means the
+	// full feed.
+	part  int
+	parts int
+
 	lastSeq uint64 // last sequence handed to the caller
 	acked   uint64 // last sequence acknowledged to the server
 
-	pending  []osn.Event // decoded events not yet handed out
-	firstSeq uint64      // sequence of pending[0]
-	evbuf    []osn.Event // reusable decode buffer backing pending
-	buf      []byte      // reusable frame buffer
-	eof      bool
+	pending     []osn.Event // decoded events not yet handed out
+	firstSeq    uint64      // sequence of pending[0] (contiguous batches)
+	pendingSeqs []uint64    // per-event sequences, parallel to pending (fbatch frames)
+	frameLast   uint64      // cursor the current fbatch advances to once drained
+	batchSeqs   []uint64    // sequences of the last RecvBatch (fbatch frames; else nil)
+	evbuf       []osn.Event // reusable decode buffer backing pending
+	seqbuf      []uint64    // reusable decode buffer backing pendingSeqs
+	buf         []byte      // reusable frame buffer
+	eof         bool
 
 	manualAck bool // acks driven by Ack() instead of delivery
 }
 
+// dialConfig collects DialOption settings.
+type dialConfig struct {
+	part  int
+	parts int
+}
+
+// DialOption configures Dial, DialFrom and DialResume.
+type DialOption func(*dialConfig)
+
+// WithPartition subscribes to one account partition of the feed: the
+// server delivers only the events partition part of parts receives
+// (osn.PartitionDelivers — the partition's owned actor slice plus the
+// cross-partition support events its detector needs), in fbatch
+// frames carrying per-event global sequences. Sequence numbers,
+// LastSeq, acks and resume all stay in global feed coordinates; the
+// client's cursor also advances past foreign events it never sees.
+// parts <= 1 subscribes to the full feed.
+func WithPartition(part, parts int) DialOption {
+	return func(c *dialConfig) {
+		c.part, c.parts = part, parts
+		if c.parts <= 1 {
+			c.part, c.parts = 0, 0
+		}
+	}
+}
+
 // Dial connects to a stream server as a fresh subscriber: it receives
 // every event broadcast after the handshake.
-func Dial(addr string) (*Client, error) {
-	return dial(addr, newSessionID(), 0)
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	return dial(addr, newSessionID(), 0, opts)
 }
 
 // DialFrom connects as a fresh subscriber that backfills history: the
@@ -66,11 +101,11 @@ func Dial(addr string) (*Client, error) {
 // replayable log for new consumers, not only resumed ones. It returns
 // an error wrapping ErrGap when from is below the spool's retention
 // floor (or the server has no spool holding it).
-func DialFrom(addr string, from uint64) (*Client, error) {
+func DialFrom(addr string, from uint64, opts ...DialOption) (*Client, error) {
 	if from == 0 {
 		return nil, errors.New("stream: DialFrom needs a sequence ≥ 1 (use Dial to start at the live head)")
 	}
-	c, err := dial(addr, newSessionID(), from)
+	c, err := dial(addr, newSessionID(), from, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -84,11 +119,11 @@ func DialFrom(addr string, from uint64) (*Client, error) {
 // the sequence taken from the previous Client). It returns an error
 // wrapping ErrGap when the server no longer holds that part of the
 // stream.
-func DialResume(addr, session string, from uint64) (*Client, error) {
+func DialResume(addr, session string, from uint64, opts ...DialOption) (*Client, error) {
 	if from == 0 || session == "" {
 		return nil, errors.New("stream: DialResume needs a session and a sequence ≥ 1")
 	}
-	c, err := dial(addr, session, from)
+	c, err := dial(addr, session, from, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +132,14 @@ func DialResume(addr, session string, from uint64) (*Client, error) {
 	return c, nil
 }
 
-func dial(addr, session string, resume uint64) (*Client, error) {
+func dial(addr, session string, resume uint64, opts []DialOption) (*Client, error) {
+	var cfg dialConfig
+	for _, fn := range opts {
+		fn(&cfg)
+	}
+	if cfg.parts > 0 && (cfg.part < 0 || cfg.part >= cfg.parts) {
+		return nil, fmt.Errorf("stream: invalid partition %d/%d", cfg.part, cfg.parts)
+	}
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("stream: dial: %w", err)
@@ -107,9 +149,12 @@ func dial(addr, session string, resume uint64) (*Client, error) {
 		br:      bufio.NewReaderSize(conn, 64<<10),
 		bw:      bufio.NewWriterSize(conn, 4<<10),
 		session: session,
+		part:    cfg.part,
+		parts:   cfg.parts,
 	}
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
-	hello := frame{T: frameHello, V: ProtocolVersion, Session: session, Resume: resume}
+	hello := frame{T: frameHello, V: ProtocolVersion, Session: session, Resume: resume,
+		Part: cfg.part, Parts: cfg.parts}
 	if err := writeControl(c.bw, hello); err == nil {
 		err = c.bw.Flush()
 	}
@@ -202,7 +247,10 @@ func (c *Client) flushAcks() {
 
 // fill blocks for the next non-empty batch, deduplicating any events
 // the client already delivered (a resumed server may resend its
-// in-flight window).
+// in-flight window). Filtered batches (fbatch, partitioned
+// subscriptions) carry per-event sequences; their empty form is a
+// pure cursor advance past foreign events and never surfaces to the
+// caller.
 func (c *Client) fill() error {
 	if c.eof {
 		return ErrClosed
@@ -215,26 +263,64 @@ func (c *Client) fill() error {
 		}
 		c.buf = payload
 		seq, evs, ok := parseBatchFrame(payload, c.evbuf[:0])
+		var seqs []uint64
+		var fLast uint64
+		fbatch := false
 		if !ok {
-			// Control frame, or a batch from a non-canonical encoder.
-			var f frame
-			if err := json.Unmarshal(payload, &f); err != nil {
-				return fmt.Errorf("stream: bad frame: %w", err)
-			}
-			switch f.T {
-			case frameEOF:
-				c.eof = true
-				return ErrClosed
-			case frameBatch:
-				seq, evs, err = parseBatchSlow(payload, c.evbuf[:0])
-				if err != nil {
-					return err
+			fLast, evs, seqs, fbatch = parseFBatchFrame(payload, c.evbuf[:0], c.seqbuf[:0])
+			if !fbatch {
+				// Control frame, or a batch from a non-canonical encoder.
+				var f frame
+				if err := json.Unmarshal(payload, &f); err != nil {
+					return fmt.Errorf("stream: bad frame: %w", err)
 				}
-			default:
-				return fmt.Errorf("stream: unexpected %q frame mid-stream", f.T)
+				switch f.T {
+				case frameEOF:
+					c.eof = true
+					return ErrClosed
+				case frameBatch:
+					seq, evs, err = parseBatchSlow(payload, c.evbuf[:0])
+					if err != nil {
+						return err
+					}
+				case frameFBatch:
+					fLast, evs, seqs, err = parseFBatchSlow(payload, c.evbuf[:0], c.seqbuf[:0])
+					if err != nil {
+						return err
+					}
+					fbatch = true
+				default:
+					return fmt.Errorf("stream: unexpected %q frame mid-stream", f.T)
+				}
 			}
 		}
 		c.evbuf = evs[:0]
+		if fbatch {
+			c.seqbuf = seqs[:0]
+			// Drop any resent prefix the client already delivered.
+			drop := 0
+			for drop < len(evs) && seqs[drop] <= c.lastSeq {
+				drop++
+			}
+			evs, seqs = evs[drop:], seqs[drop:]
+			if len(evs) == 0 {
+				// Pure cursor advance (or a fully stale resend): the
+				// filtered-out events will never arrive, so the cursor
+				// moves without a delivery.
+				if fLast > c.lastSeq {
+					c.lastSeq = fLast
+				}
+				continue
+			}
+			if fLast < seqs[len(seqs)-1] {
+				return fmt.Errorf("stream: fbatch cursor %d behind its own events (last seq %d)",
+					fLast, seqs[len(seqs)-1])
+			}
+			c.pending = evs
+			c.pendingSeqs = seqs
+			c.frameLast = fLast
+			return nil
+		}
 		if len(evs) == 0 {
 			continue
 		}
@@ -250,6 +336,7 @@ func (c *Client) fill() error {
 			return fmt.Errorf("stream: sequence gap: expected %d, got batch at %d", c.lastSeq+1, seq)
 		}
 		c.pending = evs
+		c.pendingSeqs = nil
 		c.firstSeq = seq
 		return nil
 	}
@@ -266,6 +353,20 @@ func (c *Client) Recv() (osn.Event, error) {
 	}
 	ev := c.pending[0]
 	c.pending = c.pending[1:]
+	c.batchSeqs = nil
+	if c.pendingSeqs != nil {
+		c.lastSeq = c.pendingSeqs[0]
+		c.pendingSeqs = c.pendingSeqs[1:]
+		if len(c.pending) == 0 {
+			// Frame drained: the cursor also covers the trailing
+			// foreign events the frame skipped over.
+			if c.frameLast > c.lastSeq {
+				c.lastSeq = c.frameLast
+			}
+			c.pendingSeqs = nil
+		}
+		return ev, nil
+	}
 	c.lastSeq = c.firstSeq
 	c.firstSeq++
 	return ev, nil
@@ -283,9 +384,29 @@ func (c *Client) RecvBatch() ([]osn.Event, error) {
 	}
 	evs := c.pending
 	c.pending = nil
+	if c.pendingSeqs != nil {
+		c.batchSeqs = c.pendingSeqs
+		c.pendingSeqs = nil
+		c.lastSeq = c.frameLast
+		return evs, nil
+	}
+	c.batchSeqs = nil
 	c.lastSeq = c.firstSeq + uint64(len(evs)) - 1
 	return evs, nil
 }
+
+// LastBatchSeqs returns the global sequences of the events the last
+// RecvBatch returned, parallel to that slice — or nil when the batch
+// was contiguous (sequences then run from LastSeq()−len+1 through
+// LastSeq()). Partitioned subscriptions need this: their slice of the
+// feed is sparse, so consumers that trim replayed prefixes by
+// sequence arithmetic must use per-event sequences instead. Valid
+// until the next Recv or RecvBatch call.
+func (c *Client) LastBatchSeqs() []uint64 { return c.batchSeqs }
+
+// Partition returns the client's partition subscription (part, parts);
+// parts == 0 means the full feed.
+func (c *Client) Partition() (part, parts int) { return c.part, c.parts }
 
 // Close acknowledges everything delivered (unless in manual-ack mode)
 // and disconnects. The session remains resumable on the server until
@@ -319,8 +440,8 @@ func (c *Client) Interrupt() { c.conn.SetReadDeadline(time.Now()) }
 // handshake, with no gaps and no duplicates. It returns nil on clean
 // end of feed, an error wrapping ErrGap if the server evicted the
 // session (events were irrecoverably lost), or the last dial error.
-func Subscribe(addr string, fn func(osn.Event), maxRetries int) error {
-	return subscribe(addr, maxRetries, func(c *Client) error {
+func Subscribe(addr string, fn func(osn.Event), maxRetries int, opts ...DialOption) error {
+	return subscribe(addr, maxRetries, opts, func(c *Client) error {
 		for {
 			ev, err := c.Recv()
 			if err != nil {
@@ -334,8 +455,8 @@ func Subscribe(addr string, fn func(osn.Event), maxRetries int) error {
 // SubscribeBatch is Subscribe at batch granularity: fn receives whole
 // wire batches (valid only during the call), preserving order. Same
 // delivery guarantees and return conventions as Subscribe.
-func SubscribeBatch(addr string, fn func([]osn.Event), maxRetries int) error {
-	return subscribe(addr, maxRetries, func(c *Client) error {
+func SubscribeBatch(addr string, fn func([]osn.Event), maxRetries int, opts ...DialOption) error {
+	return subscribe(addr, maxRetries, opts, func(c *Client) error {
 		for {
 			evs, err := c.RecvBatch()
 			if err != nil {
@@ -346,7 +467,7 @@ func SubscribeBatch(addr string, fn func([]osn.Event), maxRetries int) error {
 	})
 }
 
-func subscribe(addr string, maxRetries int, drain func(*Client) error) error {
+func subscribe(addr string, maxRetries int, opts []DialOption, drain func(*Client) error) error {
 	backoff := 50 * time.Millisecond
 	retries := 0
 	session := ""
@@ -355,9 +476,9 @@ func subscribe(addr string, maxRetries int, drain func(*Client) error) error {
 		var c *Client
 		var err error
 		if session == "" {
-			c, err = Dial(addr)
+			c, err = Dial(addr, opts...)
 		} else {
-			c, err = DialResume(addr, session, last+1)
+			c, err = DialResume(addr, session, last+1, opts...)
 		}
 		if err != nil {
 			if errors.Is(err, ErrGap) {

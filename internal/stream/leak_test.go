@@ -1,0 +1,52 @@
+package stream
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakCheck snapshots the process's goroutine and file-descriptor
+// counts and registers a cleanup that fails the test if either has
+// grown once the test (including its own deferred teardown) finishes.
+// Session teardown is asynchronous — writers drain, ack readers hit
+// their read deadline, connections close in the background — so the
+// comparison retries until a deadline instead of sampling once.
+//
+// Call it first in the test body: t.Cleanup functions run after the
+// test's defers, so servers and clients closed via defer are already
+// down when the counts are compared.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	g0 := runtime.NumGoroutine()
+	f0 := countFDs()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			runtime.GC()
+			g, f := runtime.NumGoroutine(), countFDs()
+			if g <= g0 && f <= f0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("leaked: goroutines %d → %d, fds %d → %d\n%s",
+					g0, g, f0, f, buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// countFDs returns the number of open file descriptors, or 0 when the
+// platform offers no cheap way to count them (the goroutine check
+// still runs).
+func countFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return 0
+	}
+	return len(ents)
+}

@@ -1,0 +1,646 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sybilwild/internal/osn"
+)
+
+// partEvents builds a deterministic pseudo-random event stream whose
+// actors, targets and types spread across partitions, exercising every
+// branch of the delivery contract (owned, replicated accepts,
+// target-routed requests and bans, foreign).
+func partEvents(n int, seed int64) []osn.Event {
+	rng := rand.New(rand.NewSource(seed))
+	types := []osn.EventType{
+		osn.EvFriendRequest, osn.EvFriendAccept, osn.EvFriendReject,
+		osn.EvMessage, osn.EvBan, osn.EvBlogPost, osn.EvBlogShare,
+	}
+	evs := make([]osn.Event, n)
+	for i := range evs {
+		evs[i] = osn.Event{
+			Type:   types[rng.Intn(len(types))],
+			At:     int64(i),
+			Actor:  osn.AccountID(rng.Intn(200)),
+			Target: osn.AccountID(rng.Intn(200)),
+		}
+	}
+	return evs
+}
+
+// wantSeqs returns the global sequences partition part of parts
+// receives when evs are broadcast as sequences 1..len(evs) — the
+// oracle every partitioned-delivery test checks against.
+func wantSeqs(evs []osn.Event, part, parts int) []uint64 {
+	var out []uint64
+	for i, ev := range evs {
+		if osn.PartitionDelivers(ev, part, parts) {
+			out = append(out, uint64(i+1))
+		}
+	}
+	return out
+}
+
+// actorIn finds an account id the given partition owns.
+func actorIn(t *testing.T, part, parts int) osn.AccountID {
+	t.Helper()
+	for id := osn.AccountID(1); id < 10000; id++ {
+		if osn.Partition(id, parts) == part {
+			return id
+		}
+	}
+	t.Fatalf("no account id in partition %d/%d within 10000", part, parts)
+	return 0
+}
+
+// TestPartitionActorAgreesWithOwnerPartition pins the producer-side
+// shard router to the broker-side owner function: renrend -publish
+// splits the population with PartitionActor, the broker filters
+// subscriptions with osn.Partition, and a drift between the two would
+// silently misroute accounts.
+func TestPartitionActorAgreesWithOwnerPartition(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5, 8, 64} {
+		for id := 0; id < 5000; id++ {
+			if got, want := PartitionActor(osn.AccountID(id), k), osn.Partition(osn.AccountID(id), k); got != want {
+				t.Fatalf("PartitionActor(%d, %d) = %d, osn.Partition = %d", id, k, got, want)
+			}
+		}
+	}
+}
+
+// TestPartitionedDeliveryMatchesContract is the broker-side half of
+// the partition-filtering property: K subscribers each taking one
+// slice of the same feed must receive exactly the events
+// osn.PartitionDelivers assigns them — same order, same per-event
+// global sequences — and every subscriber's cursor must end at the
+// feed head even though none of them saw every event.
+func TestPartitionedDeliveryMatchesContract(t *testing.T) {
+	leakCheck(t)
+	const K, total = 3, 2000
+	evs := partEvents(total, 1)
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	clients := make([]*Client, K)
+	for p := 0; p < K; p++ {
+		c, err := Dial(s.Addr(), WithPartition(p, K))
+		if err != nil {
+			t.Fatalf("dial partition %d: %v", p, err)
+		}
+		defer c.Close()
+		clients[p] = c
+	}
+	waitClients(t, s, K)
+
+	type result struct {
+		evs  []osn.Event
+		seqs []uint64
+		last uint64
+		err  error
+	}
+	results := make([]result, K)
+	var wg sync.WaitGroup
+	for p, c := range clients {
+		wg.Add(1)
+		go func(p int, c *Client) {
+			defer wg.Done()
+			r := &results[p]
+			for {
+				batch, err := c.RecvBatch()
+				if errors.Is(err, ErrClosed) {
+					r.last = c.LastSeq()
+					return
+				}
+				if err != nil {
+					r.err = err
+					return
+				}
+				seqs := c.LastBatchSeqs()
+				if len(seqs) != len(batch) {
+					r.err = fmt.Errorf("LastBatchSeqs has %d entries for a %d-event batch", len(seqs), len(batch))
+					return
+				}
+				r.evs = append(r.evs, batch...)
+				r.seqs = append(r.seqs, seqs...)
+			}
+		}(p, c)
+	}
+
+	for _, ev := range evs {
+		s.Broadcast(ev)
+	}
+	s.Close() // drains every window, then eof
+	wg.Wait()
+
+	for p := 0; p < K; p++ {
+		r := results[p]
+		if r.err != nil {
+			t.Fatalf("partition %d: %v", p, r.err)
+		}
+		want := wantSeqs(evs, p, K)
+		if len(r.seqs) != len(want) {
+			t.Fatalf("partition %d received %d events, contract says %d", p, len(r.seqs), len(want))
+		}
+		for i, seq := range r.seqs {
+			if seq != want[i] {
+				t.Fatalf("partition %d event %d has seq %d, want %d", p, i, seq, want[i])
+			}
+			if r.evs[i] != evs[seq-1] {
+				t.Fatalf("partition %d seq %d carries %+v, broadcast was %+v", p, seq, r.evs[i], evs[seq-1])
+			}
+		}
+		if r.last != total {
+			t.Fatalf("partition %d cursor ended at %d, want the feed head %d", p, r.last, total)
+		}
+	}
+}
+
+// TestPartitionedRecvSingleEvents drives the per-event Recv path over
+// a filtered subscription: each delivered event must advance LastSeq
+// to at least its own global sequence, and the filtered stream must
+// match the contract exactly.
+func TestPartitionedRecvSingleEvents(t *testing.T) {
+	leakCheck(t)
+	const K, total = 2, 800
+	evs := partEvents(total, 2)
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr(), WithPartition(0, K))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitClients(t, s, 1)
+
+	for _, ev := range evs {
+		s.Broadcast(ev)
+	}
+	want := wantSeqs(evs, 0, K)
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+	for i, seq := range want {
+		ev, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if ev != evs[seq-1] {
+			t.Fatalf("recv %d: got %+v, want seq %d = %+v", i, ev, seq, evs[seq-1])
+		}
+		if c.LastSeq() < seq {
+			t.Fatalf("recv %d: LastSeq %d behind the event's seq %d", i, c.LastSeq(), seq)
+		}
+	}
+	if _, err := c.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("after drain: err = %v, want ErrClosed", err)
+	}
+	if c.LastSeq() != total {
+		t.Fatalf("cursor ended at %d, want %d", c.LastSeq(), total)
+	}
+	c.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestPartitionedCursorAdvancesPastForeignEvents: a subscriber whose
+// partition owns none of the traffic must still track the feed head —
+// empty fbatch frames advance its cursor, its acks follow, and the
+// server's delivered accounting shows the progress. Without this a
+// silent partition would pin the resume window at zero forever.
+func TestPartitionedCursorAdvancesPastForeignEvents(t *testing.T) {
+	leakCheck(t)
+	const K = 2
+	foreign := actorIn(t, 0, K)
+	owned := actorIn(t, 1, K)
+	s, err := NewServer("127.0.0.1:0", WithMaxBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr(), WithPartition(1, K))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitClients(t, s, 1)
+
+	// 100 owner-only events for the other partition: nothing to
+	// deliver, but ≥ maxBatch of silence forces cursor-advance frames.
+	for i := 0; i < 100; i++ {
+		s.Broadcast(osn.Event{Type: osn.EvMessage, At: int64(i), Actor: foreign, Target: foreign})
+	}
+	s.Broadcast(osn.Event{Type: osn.EvMessage, At: 100, Actor: owned, Target: owned})
+	ev, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.At != 100 {
+		t.Fatalf("got %+v, want the single owned event", ev)
+	}
+	if c.LastSeq() != 101 {
+		t.Fatalf("LastSeq = %d, want 101 (cursor over the foreign run)", c.LastSeq())
+	}
+	// The client acks the advanced cursor when it next blocks; the
+	// foreign events count as delivered cursor progress server-side.
+	done := make(chan struct{})
+	go func() { defer close(done); c.Recv() }() // flushes the ack, then blocks
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := s.Stats(); st.Delivered >= 100 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered never covered the foreign run: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Kick()
+	<-done
+}
+
+// TestPartitionedResumeAfterKill kills a partitioned subscriber's
+// connection mid-stream and resumes: the filtered feed must continue
+// with no gap and no duplicate, in global coordinates.
+func TestPartitionedResumeAfterKill(t *testing.T) {
+	leakCheck(t)
+	const K, total = 3, 3000
+	evs := partEvents(total, 3)
+	s, err := NewServer("127.0.0.1:0", WithReplayBuffer(total+16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr(), WithPartition(1, K))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitClients(t, s, 1)
+	for _, ev := range evs {
+		s.Broadcast(ev)
+	}
+	want := wantSeqs(evs, 1, K)
+	read := 0
+	for read < len(want)/3 {
+		ev, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", read, err)
+		}
+		if ev != evs[want[read]-1] {
+			t.Fatalf("recv %d: got %+v, want seq %d", read, ev, want[read])
+		}
+		read++
+	}
+	c.conn.Close() // hard kill, no goodbye
+
+	// The cursor may sit past want[read-1] (a drained frame covers
+	// trailing foreign events); the remainder is whatever the contract
+	// puts above it.
+	c2, err := DialResume(s.Addr(), c.Session(), c.LastSeq()+1, WithPartition(1, K))
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	defer c2.Close()
+	for _, seq := range want[read:] {
+		if seq <= c.LastSeq() {
+			t.Fatalf("cursor %d jumped over undelivered owned seq %d", c.LastSeq(), seq)
+		}
+		ev, err := c2.Recv()
+		if err != nil {
+			t.Fatalf("recv seq %d after resume: %v", seq, err)
+		}
+		if ev != evs[seq-1] {
+			t.Fatalf("gap or duplicate after resume: got %+v, want seq %d = %+v", ev, seq, evs[seq-1])
+		}
+	}
+}
+
+// TestPartitionedResumePartitionMismatchRejected: a session's filter
+// is part of its delivery state — resuming it under a different
+// partition (or unpartitioned) must be refused loudly, not silently
+// served the wrong slice.
+func TestPartitionedResumePartitionMismatchRejected(t *testing.T) {
+	leakCheck(t)
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr(), WithPartition(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitClients(t, s, 1)
+	s.Broadcast(osn.Event{Type: osn.EvMessage, At: 1, Actor: actorIn(t, 0, 2)})
+	if _, err := c.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	c.conn.Close()
+
+	for name, opts := range map[string][]DialOption{
+		"different partition": {WithPartition(1, 2)},
+		"different group":     {WithPartition(0, 3)},
+		"unpartitioned":       nil,
+	} {
+		_, err := DialResume(s.Addr(), c.Session(), c.LastSeq()+1, opts...)
+		if !errors.Is(err, ErrGap) || !strings.Contains(err.Error(), "partition mismatch") {
+			t.Fatalf("%s resume: err = %v, want ErrGap with a partition mismatch", name, err)
+		}
+	}
+	// The matching partition still resumes fine.
+	c2, err := DialResume(s.Addr(), c.Session(), c.LastSeq()+1, WithPartition(0, 2))
+	if err != nil {
+		t.Fatalf("matching resume: %v", err)
+	}
+	c2.Close()
+}
+
+// TestDialInvalidPartition: out-of-range requests die client-side.
+func TestDialInvalidPartition(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", WithPartition(3, 2)); err == nil || !strings.Contains(err.Error(), "invalid partition") {
+		t.Fatalf("err = %v, want invalid partition", err)
+	}
+	if _, err := Dial("127.0.0.1:1", WithPartition(-1, 4)); err == nil || !strings.Contains(err.Error(), "invalid partition") {
+		t.Fatalf("err = %v, want invalid partition", err)
+	}
+}
+
+// TestPartitionedCatchupFromSpool is the teardown audit for the
+// demotion and catch-up-flip paths under a filtered subscription: a
+// partitioned subscriber detaches, the feed overruns its tiny window
+// (demoting the session to disk catch-up), and the resume must replay
+// the filtered slice from the spool, flip to live delivery at an
+// exact boundary, and keep serving live events — leaking neither
+// goroutines nor fds across the whole dance.
+func TestPartitionedCatchupFromSpool(t *testing.T) {
+	leakCheck(t)
+	const K, burst, live = 2, 2000, 100
+	evs := partEvents(burst+live, 4)
+	srv, _ := spooledServer(t, 16, WithMaxBatch(32))
+	c, err := Dial(srv.Addr(), WithPartition(1, K))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitClients(t, srv, 1)
+	c.conn.Close() // detach before any delivery
+	waitDetached(t, srv)
+
+	for _, ev := range evs[:burst] {
+		srv.Broadcast(ev) // overruns the 16-slot window → demotion
+	}
+	c2, err := DialResume(srv.Addr(), c.Session(), 1, WithPartition(1, K))
+	if err != nil {
+		t.Fatalf("resume into catch-up: %v", err)
+	}
+	defer c2.Close()
+
+	want := wantSeqs(evs, 1, K)
+	got := make([]uint64, 0, len(want))
+	for len(got) < len(want) {
+		batch, err := c2.RecvBatch()
+		if err != nil {
+			t.Fatalf("recv after %d events: %v", len(got), err)
+		}
+		seqs := c2.LastBatchSeqs()
+		if len(seqs) != len(batch) {
+			t.Fatalf("LastBatchSeqs has %d entries for a %d-event batch", len(seqs), len(batch))
+		}
+		for i, seq := range seqs {
+			if batch[i] != evs[seq-1] {
+				t.Fatalf("seq %d carries %+v, broadcast was %+v", seq, batch[i], evs[seq-1])
+			}
+		}
+		got = append(got, seqs...)
+		if len(got) == len(wantSeqs(evs[:burst], 1, K)) {
+			// Catch-up replayed the whole burst; the rest arrives live
+			// through the flipped session.
+			for _, ev := range evs[burst:] {
+				srv.Broadcast(ev)
+			}
+		}
+	}
+	for i, seq := range got {
+		if seq != want[i] {
+			t.Fatalf("event %d has seq %d, want %d", i, seq, want[i])
+		}
+	}
+}
+
+// TestPartitionedBackfillFromStart: a brand-new partitioned consumer
+// replays the whole spooled history of its slice (DialFrom(1)) before
+// going live — the cluster-worker cold-start path.
+func TestPartitionedBackfillFromStart(t *testing.T) {
+	leakCheck(t)
+	const K, total = 3, 1500
+	evs := partEvents(total, 5)
+	srv, _ := spooledServer(t, 16)
+	for _, ev := range evs {
+		srv.Broadcast(ev)
+	}
+	for p := 0; p < K; p++ {
+		c, err := DialFrom(srv.Addr(), 1, WithPartition(p, K))
+		if err != nil {
+			t.Fatalf("backfill partition %d: %v", p, err)
+		}
+		want := wantSeqs(evs, p, K)
+		for i := 0; i < len(want); {
+			batch, err := c.RecvBatch()
+			if err != nil {
+				t.Fatalf("partition %d recv: %v", p, err)
+			}
+			for j, seq := range c.LastBatchSeqs() {
+				if seq != want[i] {
+					t.Fatalf("partition %d event %d has seq %d, want %d", p, i, seq, want[i])
+				}
+				if batch[j] != evs[seq-1] {
+					t.Fatalf("partition %d seq %d carries wrong event", p, seq)
+				}
+				i++
+			}
+		}
+		c.Close()
+	}
+}
+
+// TestPartitionedStalledSubscriberEvicted is the kick-path audit under
+// filtered subscriptions: a partitioned subscriber that never drains
+// its owned slice is evicted after the stall timeout without wedging
+// the producer, and the eviction tears the connection down.
+func TestPartitionedStalledSubscriberEvicted(t *testing.T) {
+	leakCheck(t)
+	const K = 2
+	owned := actorIn(t, 0, K)
+	s, err := NewServer("127.0.0.1:0",
+		WithReplayBuffer(8), WithStallTimeout(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr(), WithPartition(0, K))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitClients(t, s, 1)
+	start := time.Now()
+	for i := 0; i < 1000; i++ { // all owned, never read: window fills, then eviction
+		s.Broadcast(osn.Event{Type: osn.EvMessage, At: int64(i), Actor: owned, Target: owned})
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("broadcast wedged for %v despite stall timeout", d)
+	}
+	if st := s.Stats(); st.Evicted != 1 {
+		t.Fatalf("stats = %+v, want exactly one eviction", st)
+	}
+	// Frames already on the wire still drain; the eviction then
+	// surfaces as a connection error, never a clean eof.
+	for {
+		_, err := c.Recv()
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrClosed) {
+			t.Fatalf("evicted subscriber saw a clean eof, want a connection error")
+		}
+		break
+	}
+}
+
+// TestPartitionedLingerExpiryEvicted: the linger clock must run for a
+// detached partitioned session even when every event in the meantime
+// was foreign — the foreign fast path skips the ring but not the
+// session's lifetime bookkeeping.
+func TestPartitionedLingerExpiryEvicted(t *testing.T) {
+	leakCheck(t)
+	const K = 2
+	foreign := actorIn(t, 1, K)
+	s, err := NewServer("127.0.0.1:0", WithSessionLinger(30*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr(), WithPartition(0, K))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitClients(t, s, 1)
+	c.conn.Close()
+	waitDetached(t, s)
+	time.Sleep(60 * time.Millisecond)
+	// A purely foreign event must still trigger the expiry sweep.
+	s.Broadcast(osn.Event{Type: osn.EvMessage, At: 0, Actor: foreign, Target: foreign})
+	if _, err := DialResume(s.Addr(), c.Session(), 1, WithPartition(0, K)); !errors.Is(err, ErrGap) {
+		t.Fatalf("resume after linger expiry: err = %v, want ErrGap", err)
+	}
+}
+
+// TestSnapshotOfferFetchRoundTrip exercises the rendezvous store end
+// to end: miss, offer, fetch, freshness rules, key isolation, stats.
+func TestSnapshotOfferFetchRoundTrip(t *testing.T) {
+	leakCheck(t)
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	addr := s.Addr()
+
+	if _, _, err := FetchSnapshot(addr, 1, 3); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("fetch before any offer: err = %v, want ErrNoSnapshot", err)
+	}
+
+	blob := []byte("\x00\x01snapshot payload \xff not JSON at all")
+	if err := OfferSnapshot(addr, 1, 3, 500, blob); err != nil {
+		t.Fatalf("offer: %v", err)
+	}
+	seq, data, err := FetchSnapshot(addr, 1, 3)
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	if seq != 500 || !bytes.Equal(data, blob) {
+		t.Fatalf("fetch = (%d, %q), want (500, original payload)", seq, data)
+	}
+
+	// A stale offer must not regress the held snapshot.
+	if err := OfferSnapshot(addr, 1, 3, 400, []byte("older")); err != nil {
+		t.Fatalf("stale offer: %v", err)
+	}
+	if seq, _, _ := FetchSnapshot(addr, 1, 3); seq != 500 {
+		t.Fatalf("stale offer regressed the store to seq %d", seq)
+	}
+	// A fresher offer replaces it.
+	if err := OfferSnapshot(addr, 1, 3, 600, []byte("newer")); err != nil {
+		t.Fatalf("fresher offer: %v", err)
+	}
+	if seq, data, _ := FetchSnapshot(addr, 1, 3); seq != 600 || string(data) != "newer" {
+		t.Fatalf("fetch after fresher offer = (%d, %q)", seq, data)
+	}
+
+	// Keys are (part, parts): a 2-way snapshot is invisible to 3-way.
+	if err := OfferSnapshot(addr, 1, 2, 50, []byte("two-way")); err != nil {
+		t.Fatal(err)
+	}
+	if seq, data, _ := FetchSnapshot(addr, 1, 3); seq != 600 || string(data) != "newer" {
+		t.Fatalf("(1,2) offer bled into (1,3): (%d, %q)", seq, data)
+	}
+	if _, _, err := FetchSnapshot(addr, 0, 3); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("fetch of unoffered sibling partition: err = %v, want ErrNoSnapshot", err)
+	}
+
+	snaps := s.Stats().Snapshots
+	if len(snaps) != 2 {
+		t.Fatalf("stats list %d snapshots, want 2: %+v", len(snaps), snaps)
+	}
+	if snaps[0].Parts != 2 || snaps[0].Part != 1 || snaps[0].Seq != 50 ||
+		snaps[1].Parts != 3 || snaps[1].Part != 1 || snaps[1].Seq != 600 || snaps[1].Bytes != len("newer") {
+		t.Fatalf("snapshot stats = %+v", snaps)
+	}
+
+	// Invalid partitions die before touching the network or the store.
+	if err := OfferSnapshot(addr, 3, 3, 1, nil); err == nil {
+		t.Fatal("offer with part == parts accepted")
+	}
+	if _, _, err := FetchSnapshot(addr, -1, 3); err == nil {
+		t.Fatal("fetch with negative part accepted")
+	}
+}
+
+// TestSnapshotLargerThanFrameLimit: snapshot payloads ride the
+// header's declared size, not MaxFrameSize — a graph snapshot past
+// 16 MiB must transfer intact.
+func TestSnapshotLargerThanFrameLimit(t *testing.T) {
+	leakCheck(t)
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	big := make([]byte, 17<<20)
+	for i := range big {
+		big[i] = byte(i * 2654435761)
+	}
+	if err := OfferSnapshot(s.Addr(), 0, 2, 9001, big); err != nil {
+		t.Fatalf("offer: %v", err)
+	}
+	seq, data, err := FetchSnapshot(s.Addr(), 0, 2)
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	if seq != 9001 || !bytes.Equal(data, big) {
+		t.Fatalf("large snapshot corrupted in transit (seq %d, %d bytes)", seq, len(data))
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"net"
 	"sync"
 	"time"
@@ -511,19 +510,14 @@ func (p *Publisher) Abort() {
 }
 
 // PartitionActor deterministically assigns an actor to one of n
-// producers (FNV-1a over the account id). K producer processes running
-// the same seeded simulation and each publishing only the actors
-// assigned to their index jointly emit exactly the event set a single
-// producer would — the contract renrend's publish mode and the broker
-// rely on.
+// producers (FNV-1a over the account id; it is osn.Partition, the
+// system-wide partition function). K producer processes running the
+// same seeded simulation and each publishing only the actors assigned
+// to their index jointly emit exactly the event set a single producer
+// would — the contract renrend's publish mode and the broker rely on.
+// The broker's partitioned subscriptions and the detector's
+// evaluation ownership use the same function, so producer-side and
+// broker-side partitioning always agree.
 func PartitionActor(id osn.AccountID, n int) int {
-	if n <= 1 {
-		return 0
-	}
-	h := fnv.New32a()
-	var b [4]byte
-	v := uint32(id)
-	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
-	h.Write(b[:])
-	return int(h.Sum32() % uint32(n))
+	return osn.Partition(id, n)
 }

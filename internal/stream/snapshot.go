@@ -1,0 +1,234 @@
+// Snapshot sub-protocol: the broker doubles as a rendezvous for
+// detector partition state. A running worker periodically OFFERS its
+// partition's serialized detector.PipelineSnapshot (stamped with the
+// feed sequence it covers); a new or standby worker joining a
+// rebalance FETCHES the partition's latest snapshot and resumes the
+// feed from the stamped sequence + 1 — state migration instead of
+// spool replay. The broker stores exactly one snapshot per
+// (part, parts) key, keeping the highest-sequence offer, all in
+// memory: a snapshot is a cache of detector state, the durable
+// recovery path remains the spool + the worker's own checkpoints.
+//
+// Transfers ride one short-lived connection each on the server's
+// regular listen port; the first frame's type (soffer / sfetch)
+// selects the role, exactly like the publish sub-protocol. The frame
+// pair itself — a "snap" header followed by a raw payload frame — is
+// codec'd in internal/wire (AppendSnapHeader / ParseSnapHeader).
+
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"sybilwild/internal/wire"
+)
+
+// ErrNoSnapshot is returned by FetchSnapshot when the broker holds no
+// snapshot for the requested partition — the worker should fall back
+// to its local checkpoint or a from-the-start backfill.
+var ErrNoSnapshot = errors.New("stream: no snapshot offered for this partition")
+
+// snapKey identifies a partition's slot in the rendezvous store. The
+// group size is part of the key: a (0,2) snapshot is useless to a
+// worker joining a 3-way cluster.
+type snapKey struct {
+	part  int
+	parts int
+}
+
+// snapVal is one held snapshot: the feed sequence it is stamped at
+// and the serialized payload (immutable once stored).
+type snapVal struct {
+	seq  uint64
+	data []byte
+}
+
+// storeSnapshot keeps the offer if it is at least as fresh as what is
+// held. Equal sequences replace (idempotent re-offer); older offers
+// are dropped — a lagging worker must not regress the rendezvous.
+func (s *Server) storeSnapshot(k snapKey, seq uint64, data []byte) bool {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if s.snaps == nil {
+		s.snaps = make(map[snapKey]snapVal)
+	}
+	if held, ok := s.snaps[k]; ok && held.seq > seq {
+		return false
+	}
+	s.snaps[k] = snapVal{seq: seq, data: data}
+	return true
+}
+
+// snapshotStats lists held snapshots sorted by (parts, part).
+func (s *Server) snapshotStats() []SnapshotStats {
+	s.snapMu.Lock()
+	out := make([]SnapshotStats, 0, len(s.snaps))
+	for k, v := range s.snaps {
+		out = append(out, SnapshotStats{Part: k.part, Parts: k.parts, Seq: v.seq, Bytes: len(v.data)})
+	}
+	s.snapMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Parts != out[j].Parts {
+			return out[i].Parts < out[j].Parts
+		}
+		return out[i].Part < out[j].Part
+	})
+	return out
+}
+
+// serveSnapOffer handles one worker→broker snapshot offer: validate
+// the announced header, read the raw payload frame, store, confirm.
+func (s *Server) serveSnapOffer(conn net.Conn, br *bufio.Reader, hello frame) {
+	defer conn.Close()
+	if hello.Parts < 1 || hello.Part < 0 || hello.Part >= hello.Parts {
+		writeControl(conn, frame{T: frameSnapOK, Err: "invalid partition"})
+		return
+	}
+	if hello.Size > wire.MaxSnapshotSize {
+		writeControl(conn, frame{T: frameSnapOK, Err: "snapshot too large"})
+		return
+	}
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	payload, err := wire.ReadFrameLimit(br, nil, wire.MaxSnapshotSize)
+	if err != nil {
+		return // connection died mid-transfer; nothing to confirm
+	}
+	if uint64(len(payload)) != hello.Size {
+		writeControl(conn, frame{T: frameSnapOK,
+			Err: fmt.Sprintf("payload of %d bytes does not match announced size %d", len(payload), hello.Size)})
+		return
+	}
+	s.storeSnapshot(snapKey{part: hello.Part, parts: hello.Parts}, hello.Seq, payload)
+	writeControl(conn, frame{T: frameSnapOK})
+}
+
+// serveSnapFetch handles one worker→broker snapshot fetch: reply with
+// the held snap frame pair, or a tagged miss.
+func (s *Server) serveSnapFetch(conn net.Conn, hello frame) {
+	defer conn.Close()
+	if hello.Parts < 1 || hello.Part < 0 || hello.Part >= hello.Parts {
+		writeControl(conn, frame{T: frameSnap, Err: "invalid partition"})
+		return
+	}
+	k := snapKey{part: hello.Part, parts: hello.Parts}
+	s.snapMu.Lock()
+	v, ok := s.snaps[k]
+	s.snapMu.Unlock()
+	if !ok {
+		writeControl(conn, frame{T: frameSnap, Err: snapNone})
+		return
+	}
+	conn.SetWriteDeadline(time.Now().Add(handshakeTimeout))
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	hdr := wire.AppendSnapHeader(nil, wire.SnapHeader{
+		Part: k.part, Parts: k.parts, Seq: v.seq, Size: uint64(len(v.data)),
+	})
+	if writeFrame(bw, hdr) != nil {
+		return
+	}
+	if writeFrame(bw, v.data) != nil {
+		return
+	}
+	bw.Flush()
+}
+
+// OfferSnapshot publishes a partition's serialized detector snapshot,
+// stamped with the feed sequence it covers, to the broker's
+// rendezvous store (one short-lived connection). The broker keeps the
+// highest-sequence offer per (part, parts); offering below it is not
+// an error — the fresher snapshot simply stays.
+func OfferSnapshot(addr string, part, parts int, seq uint64, data []byte) error {
+	if parts < 1 || part < 0 || part >= parts {
+		return fmt.Errorf("stream: invalid partition %d/%d", part, parts)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("stream: snapshot offer dial: %w", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	offer := frame{T: frameSnapOffer, V: ProtocolVersion,
+		Part: part, Parts: parts, Seq: seq, Size: uint64(len(data))}
+	if err := writeControl(bw, offer); err != nil {
+		return fmt.Errorf("stream: snapshot offer: %w", err)
+	}
+	if err := writeFrame(bw, data); err != nil {
+		return fmt.Errorf("stream: snapshot offer: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("stream: snapshot offer: %w", err)
+	}
+	payload, err := readFrame(bufio.NewReader(conn), nil)
+	if err != nil {
+		return fmt.Errorf("stream: snapshot offer: %w", err)
+	}
+	var ok frame
+	if err := json.Unmarshal(payload, &ok); err != nil || ok.T != frameSnapOK {
+		return fmt.Errorf("stream: snapshot offer: unexpected reply %q", payload)
+	}
+	if ok.Err != "" {
+		return fmt.Errorf("stream: snapshot offer rejected: %s", ok.Err)
+	}
+	return nil
+}
+
+// FetchSnapshot retrieves the latest snapshot the broker holds for
+// partition part of parts: the stamped feed sequence and the
+// serialized detector.PipelineSnapshot payload. It returns an error
+// wrapping ErrNoSnapshot when the broker holds nothing for the key.
+func FetchSnapshot(addr string, part, parts int) (seq uint64, data []byte, err error) {
+	if parts < 1 || part < 0 || part >= parts {
+		return 0, nil, fmt.Errorf("stream: invalid partition %d/%d", part, parts)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return 0, nil, fmt.Errorf("stream: snapshot fetch dial: %w", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	bw := bufio.NewWriterSize(conn, 4<<10)
+	req := frame{T: frameSnapFetch, V: ProtocolVersion, Part: part, Parts: parts}
+	if err := writeControl(bw, req); err != nil {
+		return 0, nil, fmt.Errorf("stream: snapshot fetch: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, nil, fmt.Errorf("stream: snapshot fetch: %w", err)
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	payload, err := readFrame(br, nil)
+	if err != nil {
+		return 0, nil, fmt.Errorf("stream: snapshot fetch: %w", err)
+	}
+	h, ok := wire.ParseSnapHeader(payload)
+	if !ok {
+		// Control reply: a miss or a rejection.
+		var f frame
+		if err := json.Unmarshal(payload, &f); err != nil || f.T != frameSnap {
+			return 0, nil, fmt.Errorf("stream: snapshot fetch: unexpected reply %q", payload)
+		}
+		if f.Err == snapNone {
+			return 0, nil, fmt.Errorf("%w (partition %d/%d)", ErrNoSnapshot, part, parts)
+		}
+		return 0, nil, fmt.Errorf("stream: snapshot fetch rejected: %s", f.Err)
+	}
+	if h.Part != part || h.Parts != parts {
+		return 0, nil, fmt.Errorf("stream: snapshot fetch: header names partition %d/%d, asked %d/%d",
+			h.Part, h.Parts, part, parts)
+	}
+	data, err = wire.ReadFrameLimit(br, nil, h.Size)
+	if err != nil {
+		return 0, nil, fmt.Errorf("stream: snapshot fetch: %w", err)
+	}
+	if uint64(len(data)) != h.Size {
+		return 0, nil, fmt.Errorf("stream: snapshot fetch: payload of %d bytes does not match announced %d",
+			len(data), h.Size)
+	}
+	return h.Seq, data, nil
+}

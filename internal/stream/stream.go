@@ -190,6 +190,11 @@ type Server struct {
 	delivered atomic.Uint64
 	evicted   atomic.Uint64
 
+	// Snapshot rendezvous: latest offered detector snapshot per
+	// partition key (snapshot sub-protocol; see snapshot.go).
+	snapMu sync.Mutex
+	snaps  map[snapKey]snapVal
+
 	spoolBroken atomic.Bool // a spool write failed; disk tier is offline
 	spoolErrMu  sync.Mutex
 	spoolErr    error
@@ -207,21 +212,45 @@ type Server struct {
 // spool, and Broadcast merely notes the advancing head (feedSeq);
 // when the catch-up reaches the head the session flips back to live
 // atomically with respect to Broadcast.
+//
+// A partitioned session (parts > 0) additionally filters: append only
+// rings events its partition receives (osn.PartitionDelivers), each
+// stamped with its global sequence in the parallel seqs ring, and the
+// writer emits fbatch frames whose "last" cursor also covers the
+// filtered-out foreign events — so acks, window trims, spool
+// retention, and resume all keep working in global feed coordinates
+// while only the partition's slice crosses the wire.
 type session struct {
 	id  string
 	srv *Server
+
+	// Partitioned subscription (immutable after creation); parts == 0
+	// means the full feed.
+	part  int
+	parts int
 
 	mu   sync.Mutex
 	cond *sync.Cond  // writer wake: pending events, acks, close, or conn change
 	ring []osn.Event // circular; holds seqs (base, base+n]
 	head int         // ring index of seq base+1
 	n    int
+	// Partitioned sessions only: seqs[i] is the global sequence of
+	// ring[i] (the slice is sparse, so ring arithmetic cannot derive
+	// it), and sentIdx counts ring entries (from head) the writer has
+	// already framed. Unpartitioned sessions derive both from the
+	// contiguous cursors below.
+	seqs    []uint64
+	sentIdx int
 	// Cursors: acked ≤ sent, base ≤ sent ≤ base+n. In live mode the
 	// ring holds (base, base+n]: (base, sent] are in flight, (sent,
 	// base+n] await the writer, and base tracks acked. In catch-up
 	// mode the ring is empty and (acked, sent] are in flight from
 	// disk; base is reset to sent when the session flips live, so
 	// base can run ahead of acked until the client's acks catch up.
+	// Partitioned sessions use the same cursors in global feed
+	// coordinates: sent is the cursor covered by emitted frames (an
+	// fbatch's "last"), base the trim floor — entries still rung have
+	// sequences > base.
 	acked uint64
 	sent  uint64
 	base  uint64
@@ -241,7 +270,12 @@ type session struct {
 // ServerStats is a snapshot of feed accounting.
 type ServerStats struct {
 	Broadcast uint64 // events broadcast (highest sequence assigned)
-	Delivered uint64 // events acknowledged by subscribers, summed
+	// Delivered sums acknowledged feed-cursor progress across
+	// subscribers. Partitioned subscribers acknowledge global cursor
+	// positions (their acks also cover foreign events they never
+	// received), so with K partitions Delivered approaches K× the
+	// broadcast count even though each event crossed the wire once.
+	Delivered uint64
 	Sessions  int    // sessions held (connected or lingering for resume)
 	Evicted   uint64 // sessions evicted with unrecoverable undelivered events — the only loss path
 	// PerSession breaks lag down by subscriber, sorted worst-lagging
@@ -261,6 +295,9 @@ type ServerStats struct {
 	SpoolFirst uint64
 	SpoolEnd   uint64
 	SpoolErr   string
+	// Snapshots lists the detector snapshots currently held for
+	// handoff, sorted by (parts, part).
+	Snapshots []SnapshotStats
 }
 
 // SessionStats is one subscriber session's flow-control view.
@@ -268,11 +305,22 @@ type SessionStats struct {
 	ID        string  // client-chosen session id
 	Connected bool    // false while lingering for resume
 	CatchUp   bool    // serving from the disk spool, not the live ring
+	Part      int     // partition index (meaningful when Parts > 0)
+	Parts     int     // partition group size; 0 = full feed
 	Acked     uint64  // highest sequence the client has acknowledged
 	Behind    uint64  // events behind the feed head (broadcast − acked)
 	Buffered  int     // replay-window fill: events held awaiting ack
 	Window    int     // replay-window capacity
 	Fill      float64 // Buffered/Window; at 1.0 this session stalls a spool-less Broadcast
+}
+
+// SnapshotStats describes one held snapshot in the broker's
+// rendezvous store.
+type SnapshotStats struct {
+	Part  int    // partition the snapshot covers
+	Parts int    // partition group size
+	Seq   uint64 // feed sequence the snapshot is stamped at
+	Bytes int    // serialized payload size
 }
 
 // NewServer listens on addr (e.g. "127.0.0.1:0") and starts accepting
@@ -384,6 +432,29 @@ func (s *Server) minAckedLocked() uint64 {
 func (sess *session) append(ev osn.Event, seq uint64) bool {
 	sess.mu.Lock()
 	sess.feedSeq = seq
+	if sess.parts > 0 && !osn.PartitionDelivers(ev, sess.part, sess.parts) {
+		// Foreign event: this partition never receives it — only the
+		// subscriber's cursor moves. The writer is woken so it can emit
+		// a cursor-advance frame once enough silent feed accumulates
+		// (its wait condition measures feedSeq − sent); the ring cannot
+		// overflow on foreign events, so none of the backpressure or
+		// demotion machinery below applies. The linger clock still
+		// does: a detached partition subscriber expires even if every
+		// event in the meantime was foreign.
+		if sess.gone || sess.closing {
+			alive := !sess.gone
+			sess.mu.Unlock()
+			return alive
+		}
+		if sess.conn == nil && time.Since(sess.detachedAt) > sess.srv.opt.linger {
+			sess.evictLocked()
+			sess.mu.Unlock()
+			return false
+		}
+		sess.cond.Signal()
+		sess.mu.Unlock()
+		return true
+	}
 	for {
 		if sess.gone || sess.closing {
 			alive := !sess.gone
@@ -444,7 +515,11 @@ func (sess *session) append(ev osn.Event, seq uint64) bool {
 			}
 		}
 	}
-	sess.ring[(sess.head+sess.n)%len(sess.ring)] = ev
+	idx := (sess.head + sess.n) % len(sess.ring)
+	sess.ring[idx] = ev
+	if sess.parts > 0 {
+		sess.seqs[idx] = seq
+	}
 	sess.n++
 	sess.cond.Signal()
 	sess.mu.Unlock()
@@ -456,7 +531,7 @@ func (sess *session) append(ev osn.Event, seq uint64) bool {
 // the writer picks up reading at sent+1. sess.mu must be held.
 func (sess *session) demoteLocked() {
 	sess.catchup = true
-	sess.head, sess.n = 0, 0
+	sess.head, sess.n, sess.sentIdx = 0, 0, 0
 	select {
 	case sess.space <- struct{}{}:
 	default:
@@ -497,7 +572,11 @@ func (sess *session) ackTo(seq uint64) {
 		sess.srv.delivered.Add(seq - sess.acked)
 		sess.acked = seq
 	}
-	if !sess.catchup && seq > sess.base {
+	switch {
+	case sess.catchup:
+	case sess.parts > 0:
+		sess.trimPartLocked(seq)
+	case seq > sess.base:
 		delta := int(seq - sess.base)
 		sess.head = (sess.head + delta) % len(sess.ring)
 		sess.n -= delta
@@ -508,6 +587,32 @@ func (sess *session) ackTo(seq uint64) {
 		}
 	}
 	sess.mu.Unlock()
+}
+
+// trimPartLocked drops ring entries with sequence ≤ seq from a
+// partitioned session's window and advances the trim floor. Acks name
+// global feed cursors, so the trim walks the sparse seqs ring instead
+// of using contiguous arithmetic. sess.mu must be held.
+func (sess *session) trimPartLocked(seq uint64) {
+	trimmed := 0
+	for sess.n > 0 && sess.seqs[sess.head] <= seq {
+		sess.head = (sess.head + 1) % len(sess.ring)
+		sess.n--
+		trimmed++
+	}
+	if trimmed > 0 {
+		sess.sentIdx -= trimmed
+		if sess.sentIdx < 0 {
+			sess.sentIdx = 0
+		}
+		select {
+		case sess.space <- struct{}{}:
+		default:
+		}
+	}
+	if seq > sess.base {
+		sess.base = seq
+	}
 }
 
 // attachLocked binds conn as the session's current connection, kicking
@@ -575,8 +680,13 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	if hello.V != ProtocolVersion {
 		t := frameWelcome
-		if hello.T == framePHello {
+		switch hello.T {
+		case framePHello:
 			t = framePWelcome
+		case frameSnapOffer:
+			t = frameSnapOK
+		case frameSnapFetch:
+			t = frameSnap
 		}
 		writeControl(conn, frame{T: t, V: ProtocolVersion,
 			Err: fmt.Sprintf("unsupported protocol version %d", hello.V)})
@@ -584,10 +694,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
-	if hello.T == framePHello {
+	switch hello.T {
+	case framePHello:
 		// The connection is a wire producer, not a subscriber: hand it
 		// to the ingest path (publish.go).
 		s.servePublisher(conn, br, hello, payload)
+		return
+	case frameSnapOffer:
+		s.serveSnapOffer(conn, br, hello)
+		return
+	case frameSnapFetch:
+		s.serveSnapFetch(conn, hello)
 		return
 	}
 	if hello.T != frameHello || hello.Session == "" {
@@ -634,12 +751,27 @@ func (s *Server) serveConn(conn net.Conn) {
 // until it reaches the head. Only a sequence below the spool's
 // retained range, or a missing/broken spool, rejects.
 func (s *Server) admit(hello frame, conn net.Conn) (sess *session, gen int, from uint64, reject string) {
+	// Normalize the partition request: a group of one is the full
+	// feed, served on the cheaper contiguous path.
+	if hello.Parts == 1 {
+		hello.Part, hello.Parts = 0, 0
+	}
+	if hello.Parts < 0 || hello.Part < 0 || (hello.Parts > 0 && hello.Part >= hello.Parts) {
+		return nil, 0, 0, "invalid partition"
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closing {
 		return nil, 0, 0, "server closing"
 	}
 	sess = s.sessions[hello.Session]
+	if sess != nil && hello.Resume > 0 &&
+		(sess.parts != hello.Parts || sess.part != hello.Part) {
+		// A session's filter is part of its delivery state: the acks
+		// and cursors only make sense for the slice they were earned
+		// on. Changing partition means starting a fresh session.
+		return nil, 0, 0, "partition mismatch for resumed session"
+	}
 	if hello.Resume == 0 {
 		// Fresh subscription from the next broadcast on. Reusing a live
 		// session id replaces (evicts) the old session.
@@ -648,7 +780,7 @@ func (s *Server) admit(hello frame, conn net.Conn) (sess *session, gen int, from
 			sess.evictLocked()
 			sess.mu.Unlock()
 		}
-		sess = s.newSessionLocked(hello.Session, s.seq, false)
+		sess = s.newSessionLocked(hello.Session, s.seq, false, hello.Part, hello.Parts)
 		sess.mu.Lock()
 		gen = sess.attachLocked(conn)
 		sess.mu.Unlock()
@@ -662,7 +794,7 @@ func (s *Server) admit(hello frame, conn net.Conn) (sess *session, gen int, from
 		// Resuming exactly at the head needs no replay from either
 		// tier: admit a live session. This is also how a DialFrom(1)
 		// subscriber joins an empty feed.
-		sess = s.newSessionLocked(hello.Session, s.seq, false)
+		sess = s.newSessionLocked(hello.Session, s.seq, false, hello.Part, hello.Parts)
 		sess.mu.Lock()
 		gen = sess.attachLocked(conn)
 		sess.mu.Unlock()
@@ -671,7 +803,7 @@ func (s *Server) admit(hello frame, conn net.Conn) (sess *session, gen int, from
 	if sess != nil {
 		sess.mu.Lock()
 		switch {
-		case !sess.catchup && r > sess.base && r <= sess.base+uint64(sess.n)+1:
+		case !sess.catchup && sess.parts == 0 && r > sess.base && r <= sess.base+uint64(sess.n)+1:
 			// Memory tier: the ring still holds (or abuts) r.
 			// Resuming from r implicitly acknowledges everything
 			// before it.
@@ -689,6 +821,21 @@ func (s *Server) admit(hello frame, conn net.Conn) (sess *session, gen int, from
 				}
 			}
 			sess.sent = r - 1 // rewind: resend anything in flight when the conn died
+			gen = sess.attachLocked(conn)
+			sess.mu.Unlock()
+			return sess, gen, r, ""
+		case !sess.catchup && sess.parts > 0 && r > sess.base:
+			// Partitioned memory tier: entries ≤ base are trimmed, so
+			// r > base means every partition event ≥ r is still rung.
+			// Resume implicitly acks below r; the writer resends the
+			// whole remaining ring (sentIdx rewinds to 0).
+			if r-1 > sess.acked {
+				s.delivered.Add(r - 1 - sess.acked)
+				sess.acked = r - 1
+			}
+			sess.trimPartLocked(r - 1)
+			sess.sent = r - 1
+			sess.sentIdx = 0
 			gen = sess.attachLocked(conn)
 			sess.mu.Unlock()
 			return sess, gen, r, ""
@@ -719,7 +866,7 @@ func (s *Server) admit(hello frame, conn net.Conn) (sess *session, gen int, from
 		return nil, 0, 0, "unknown session (resume window expired)"
 	}
 	// Disk tier: catch up from segment files, then flip live.
-	sess = s.newSessionLocked(hello.Session, r-1, r <= s.seq)
+	sess = s.newSessionLocked(hello.Session, r-1, r <= s.seq, hello.Part, hello.Parts)
 	sess.mu.Lock()
 	gen = sess.attachLocked(conn)
 	sess.mu.Unlock()
@@ -737,11 +884,14 @@ func (s *Server) spoolServes(r uint64) bool {
 }
 
 // newSessionLocked registers a session whose cursors sit at seq
-// (acked = sent = base = seq). Caller holds s.mu.
-func (s *Server) newSessionLocked(id string, seq uint64, catchup bool) *session {
+// (acked = sent = base = seq), subscribed to partition part of parts
+// (0/0 for the full feed). Caller holds s.mu.
+func (s *Server) newSessionLocked(id string, seq uint64, catchup bool, part, parts int) *session {
 	sess := &session{
 		id:      id,
 		srv:     s,
+		part:    part,
+		parts:   parts,
 		ring:    make([]osn.Event, s.opt.replay),
 		acked:   seq,
 		sent:    seq,
@@ -749,6 +899,9 @@ func (s *Server) newSessionLocked(id string, seq uint64, catchup bool) *session 
 		feedSeq: s.seq,
 		catchup: catchup,
 		space:   make(chan struct{}, 1),
+	}
+	if parts > 0 {
+		sess.seqs = make([]uint64, s.opt.replay)
 	}
 	sess.cond = sync.NewCond(&sess.mu)
 	s.sessions[id] = sess
@@ -770,11 +923,16 @@ func (s *Server) writer(sess *session, conn net.Conn, gen int) {
 		if stale {
 			return
 		}
-		if cu {
+		switch {
+		case cu:
 			if !s.writeCatchup(sess, conn, bw, gen) {
 				return
 			}
-		} else {
+		case sess.parts > 0:
+			if !s.writeLivePart(sess, conn, bw, gen) {
+				return
+			}
+		default:
 			if !s.writeLive(sess, conn, bw, gen) {
 				return
 			}
@@ -848,6 +1006,118 @@ func (s *Server) writeLive(sess *session, conn net.Conn, bw *bufio.Writer, gen i
 	}
 }
 
+// advanceEvery is how much silent (filtered-out) feed accumulates
+// before a partitioned writer sends an empty fbatch purely to move
+// the subscriber's cursor. Cursor advances are what let a partition
+// subscriber's acks track the feed head — trimming spool retention
+// and resume floors — through stretches owned by other partitions.
+// Tied to maxBatch so tests that shrink batches shrink advance
+// latency with them.
+func (s *Server) advanceEvery() uint64 { return uint64(s.opt.maxBatch) }
+
+// writeLivePart is writeLive for a partitioned session: it drains the
+// filtered ring as fbatch frames (per-event global sequences plus the
+// covering cursor), and emits empty cursor-advance frames across
+// silent stretches of foreign events. Same return contract as
+// writeLive.
+func (s *Server) writeLivePart(sess *session, conn net.Conn, bw *bufio.Writer, gen int) bool {
+	scratch := make([]osn.Event, 0, s.opt.maxBatch)
+	seqScratch := make([]uint64, 0, s.opt.maxBatch)
+	var payload []byte
+	lastFlush := time.Now()
+	adv := s.advanceEvery()
+	for {
+		sess.mu.Lock()
+		for sess.gen == gen && !sess.closing && !sess.catchup &&
+			sess.sentIdx == sess.n && sess.feedSeq-sess.sent < adv {
+			sess.cond.Wait()
+		}
+		if sess.gen != gen {
+			sess.mu.Unlock()
+			return false
+		}
+		if sess.catchup {
+			sess.mu.Unlock()
+			if err := bw.Flush(); err != nil {
+				s.detach(sess, gen)
+				return false
+			}
+			return true
+		}
+		pending := sess.n - sess.sentIdx
+		if pending == 0 {
+			last := sess.feedSeq
+			if sess.closing {
+				// Window drained: final cursor advance (the feed may
+				// have ended mid-silence), goodbye, and a read deadline
+				// so the ack reader terminates too.
+				advance := last > sess.sent
+				sess.sent = last
+				sess.mu.Unlock()
+				if advance {
+					payload = appendFBatchFrame(payload[:0], last, nil, nil)
+					writeFrame(bw, payload)
+				}
+				writeControl(bw, frame{T: frameEOF})
+				bw.Flush()
+				conn.SetReadDeadline(time.Now().Add(s.opt.drain))
+				return false
+			}
+			if last <= sess.sent {
+				// Spurious wake (attach/detach broadcast); nothing new.
+				sess.mu.Unlock()
+				continue
+			}
+			sess.sent = last
+			sess.mu.Unlock()
+			payload = appendFBatchFrame(payload[:0], last, nil, nil)
+			if err := writeFrame(bw, payload); err != nil {
+				s.detach(sess, gen)
+				return false
+			}
+			if err := bw.Flush(); err != nil {
+				s.detach(sess, gen)
+				return false
+			}
+			lastFlush = time.Now()
+			continue
+		}
+		nb := pending
+		if nb > s.opt.maxBatch {
+			nb = s.opt.maxBatch
+		}
+		scratch, seqScratch = scratch[:0], seqScratch[:0]
+		for k := 0; k < nb; k++ {
+			idx := (sess.head + sess.sentIdx + k) % len(sess.ring)
+			scratch = append(scratch, sess.ring[idx])
+			seqScratch = append(seqScratch, sess.seqs[idx])
+		}
+		sess.sentIdx += nb
+		last := seqScratch[nb-1]
+		drained := sess.sentIdx == sess.n
+		if drained && sess.feedSeq > last {
+			// Ring drained: extend the cursor over the trailing foreign
+			// run so the subscriber's acks track the feed head.
+			last = sess.feedSeq
+		}
+		sess.sent = last
+		sess.mu.Unlock()
+
+		payload = appendFBatchFrame(payload[:0], last, seqScratch, scratch)
+		if err := writeFrame(bw, payload); err != nil {
+			s.detach(sess, gen)
+			return false
+		}
+		if drained || time.Since(lastFlush) >= s.opt.flushEvery {
+			if err := bw.Flush(); err != nil {
+				s.detach(sess, gen)
+				return false
+			}
+			lastFlush = time.Now()
+		}
+	}
+}
+
 // writeCatchup streams the gap (sent, head] from the disk spool onto
 // the connection, then flips the session back to live delivery
 // atomically with Broadcast. Unlike the live ring there is no
@@ -861,6 +1131,7 @@ func (s *Server) writeLive(sess *session, conn net.Conn, bw *bufio.Writer, gen i
 func (s *Server) writeCatchup(sess *session, conn net.Conn, bw *bufio.Writer, gen int) bool {
 	sess.mu.Lock()
 	from := sess.sent + 1
+	told := sess.sent // cursor actually framed to the client (partitioned)
 	sess.mu.Unlock()
 	rd, err := s.opt.spool.ReadFrom(from)
 	if err != nil {
@@ -870,8 +1141,11 @@ func (s *Server) writeCatchup(sess *session, conn net.Conn, bw *bufio.Writer, ge
 	}
 	defer rd.Close()
 	scratch := make([]osn.Event, 0, s.opt.maxBatch)
+	var keep []osn.Event
+	var keepSeqs []uint64
 	var payload []byte
 	lastFlush := time.Now()
+	adv := s.advanceEvery()
 	for {
 		sess.mu.Lock()
 		if sess.gen != gen || sess.gone {
@@ -886,6 +1160,22 @@ func (s *Server) writeCatchup(sess *session, conn net.Conn, bw *bufio.Writer, ge
 			// Reached everything spooled. Flush the wire, then try to
 			// flip live: under s.mu no new sequence can be assigned,
 			// so sent == s.seq means the ring takes over gaplessly.
+			if sess.parts > 0 {
+				// Bring the client's cursor current first, so the flip
+				// boundary is exact even when the tail of the spool was
+				// all foreign events.
+				sess.mu.Lock()
+				cur := sess.sent
+				sess.mu.Unlock()
+				if cur > told {
+					payload = appendFBatchFrame(payload[:0], cur, nil, nil)
+					if werr := writeFrame(bw, payload); werr != nil {
+						s.detach(sess, gen)
+						return false
+					}
+					told = cur
+				}
+			}
 			if ferr := bw.Flush(); ferr != nil {
 				s.detach(sess, gen)
 				return false
@@ -901,7 +1191,7 @@ func (s *Server) writeCatchup(sess *session, conn net.Conn, bw *bufio.Writer, ge
 			if s.seq == sess.sent {
 				sess.catchup = false
 				sess.base = sess.sent
-				sess.head, sess.n = 0, 0
+				sess.head, sess.n, sess.sentIdx = 0, 0, 0
 				sess.mu.Unlock()
 				s.mu.Unlock()
 				return true
@@ -932,15 +1222,30 @@ func (s *Server) writeCatchup(sess *session, conn net.Conn, bw *bufio.Writer, ge
 			return false
 		}
 
+		end := first + uint64(len(evs)) - 1
 		sess.mu.Lock()
 		if sess.gen != gen || sess.gone {
 			sess.mu.Unlock()
 			return false
 		}
-		sess.sent = first + uint64(len(evs)) - 1
+		sess.sent = end
 		sess.mu.Unlock()
 
-		payload = appendBatchFrame(payload[:0], first, evs)
+		if sess.parts > 0 {
+			// Filter the chunk down to the partition's slice; the
+			// frame's cursor still covers the whole chunk. A fully
+			// foreign chunk is framed only once enough silence has
+			// accumulated to be worth a cursor advance.
+			keep, keepSeqs = filterPartition(evs, first, sess.part, sess.parts, keep[:0], keepSeqs[:0])
+			if len(keep) == 0 && end-told < adv {
+				scratch = evs[:0]
+				continue
+			}
+			payload = appendFBatchFrame(payload[:0], end, keepSeqs, keep)
+			told = end
+		} else {
+			payload = appendBatchFrame(payload[:0], first, evs)
+		}
 		if err := writeFrame(bw, payload); err != nil {
 			s.detach(sess, gen)
 			return false
@@ -956,6 +1261,19 @@ func (s *Server) writeCatchup(sess *session, conn net.Conn, bw *bufio.Writer, ge
 	}
 }
 
+// filterPartition appends the events of a contiguous run (first
+// sequence first) that partition part of parts receives to keep, with
+// their global sequences appended in parallel to keepSeqs.
+func filterPartition(evs []osn.Event, first uint64, part, parts int, keep []osn.Event, keepSeqs []uint64) ([]osn.Event, []uint64) {
+	for i, ev := range evs {
+		if osn.PartitionDelivers(ev, part, parts) {
+			keep = append(keep, ev)
+			keepSeqs = append(keepSeqs, first+uint64(i))
+		}
+	}
+	return keep, keepSeqs
+}
+
 // Stats returns a snapshot of feed accounting, including per-session
 // subscriber lag and disk-tier bounds.
 func (s *Server) Stats() ServerStats {
@@ -968,6 +1286,8 @@ func (s *Server) Stats() ServerStats {
 			ID:        sess.id,
 			Connected: sess.conn != nil,
 			CatchUp:   sess.catchup,
+			Part:      sess.part,
+			Parts:     sess.parts,
 			Acked:     sess.acked,
 			Buffered:  sess.n,
 			Window:    len(sess.ring),
@@ -1018,6 +1338,7 @@ func (s *Server) Stats() ServerStats {
 		}
 		s.spoolErrMu.Unlock()
 	}
+	st.Snapshots = s.snapshotStats()
 	return st
 }
 

@@ -30,6 +30,32 @@ import (
 // starting at the frame's "seq"; acks name the highest sequence the
 // client has delivered to its application.
 //
+// A partitioned subscriber (hello carries "part" and "parts") receives
+// filtered batches instead — its slice of the feed is sparse in the
+// global order, so each event carries its own sequence and the frame
+// carries "last", the feed cursor the frame advances the subscriber
+// to (an fbatch with no events purely moves the cursor past
+// filtered-out foreign events):
+//
+//	server → client   fbatch {"t":"fbatch","last":L,"events":[{"seq":N,...},...]}
+//
+// The snapshot sub-protocol (same listen port, the first frame's type
+// selects the role; one short-lived connection per transfer) moves a
+// partition's serialized detector state through the broker:
+//
+//	worker → broker   soffer {"t":"soffer","v":2,"part":I,"parts":K,"seq":S,"size":B}
+//	                  <raw payload frame of B bytes>
+//	broker → worker   sok    {"t":"sok"}  /  {"t":"sok","err":"..."}
+//
+//	worker → broker   sfetch {"t":"sfetch","v":2,"part":I,"parts":K}
+//	broker → worker   snap   {"t":"snap","part":I,"parts":K,"seq":S,"size":B}
+//	                  <raw payload frame of B bytes>
+//	                  — or {"t":"snap","err":"none"} when nothing is held
+//
+// The broker stores the highest-sequence snapshot per (part, parts)
+// key; offers at or above the held sequence replace it, stale offers
+// are acknowledged and dropped.
+//
 // The publish side (producer → broker, over the same listen port; the
 // first frame's type selects the role):
 //
@@ -66,6 +92,7 @@ const (
 	frameHello   = "hello"
 	frameWelcome = "welcome"
 	frameBatch   = "batch"
+	frameFBatch  = "fbatch"
 	frameAck     = "ack"
 	frameEOF     = "eof"
 
@@ -75,7 +102,18 @@ const (
 	framePBatch   = "pbatch"
 	framePAck     = "pack"
 	framePEOF     = "peof"
+
+	// Snapshot sub-protocol (partition state through the broker).
+	frameSnapOffer = "soffer"
+	frameSnapFetch = "sfetch"
+	frameSnapOK    = "sok"
+	frameSnap      = "snap"
 )
+
+// snapNone is the well-known error a snapshot fetch gets when the
+// broker holds nothing for the partition; the client maps it to
+// ErrNoSnapshot.
+const snapNone = "none"
 
 // frame is the JSON form of every control frame. Batch frames use the
 // same shape but are encoded and decoded on a hand-rolled hot path
@@ -91,6 +129,12 @@ type frame struct {
 	Ack     uint64      `json:"ack,omitempty"`
 	Seq     uint64      `json:"seq,omitempty"`
 	Events  []WireEvent `json:"events,omitempty"`
+
+	// Partitioned-subscription and snapshot sub-protocol fields.
+	Part  int    `json:"part,omitempty"`  // partition index (hello/soffer/sfetch/snap)
+	Parts int    `json:"parts,omitempty"` // partition group size; 0 = full feed
+	Last  uint64 `json:"last,omitempty"`  // feed cursor covered by an fbatch
+	Size  uint64 `json:"size,omitempty"`  // snapshot payload bytes (soffer/snap)
 
 	// Publish sub-protocol fields.
 	Producer  string `json:"producer,omitempty"`  // producer id (phello)
@@ -140,6 +184,41 @@ func parseBatchFrame(payload []byte, dst []osn.Event) (seq uint64, evs []osn.Eve
 func parseBatchSlow(payload []byte, dst []osn.Event) (uint64, []osn.Event, error) {
 	f, evs, err := parseEventFrameSlow(payload, frameBatch, dst)
 	return f.Seq, evs, err
+}
+
+// appendFBatchFrame appends the canonical filtered-batch frame — the
+// partitioned-subscriber form, per-event sequences plus the covering
+// cursor last — to dst and returns the extended slice.
+func appendFBatchFrame(dst []byte, last uint64, seqs []uint64, events []osn.Event) []byte {
+	return wire.AppendFBatch(dst, last, seqs, events)
+}
+
+// parseFBatchFrame decodes a canonical filtered-batch payload,
+// appending events to dstEvs and their sequences to dstSeqs. ok is
+// false when the payload deviates from the canonical form.
+func parseFBatchFrame(payload []byte, dstEvs []osn.Event, dstSeqs []uint64) (last uint64, evs []osn.Event, seqs []uint64, ok bool) {
+	return wire.ParseFBatch(payload, dstEvs, dstSeqs)
+}
+
+// parseFBatchSlow is the encoding/json fallback for filtered batches
+// from non-canonical encoders.
+func parseFBatchSlow(payload []byte, dstEvs []osn.Event, dstSeqs []uint64) (uint64, []osn.Event, []uint64, error) {
+	var f frame
+	if err := json.Unmarshal(payload, &f); err != nil {
+		return 0, dstEvs, dstSeqs, fmt.Errorf("stream: bad frame: %w", err)
+	}
+	if f.T != frameFBatch {
+		return 0, dstEvs, dstSeqs, fmt.Errorf("stream: unexpected frame type %q", f.T)
+	}
+	for _, w := range f.Events {
+		ev, err := w.ToOSN()
+		if err != nil {
+			return 0, dstEvs, dstSeqs, err
+		}
+		dstEvs = append(dstEvs, ev)
+		dstSeqs = append(dstSeqs, w.Seq)
+	}
+	return f.Last, dstEvs, dstSeqs, nil
 }
 
 // appendPBatchFrame appends the canonical publish batch frame (batch

@@ -1,0 +1,201 @@
+// Codec additions for the partitioned cluster: the "fbatch" frame (a
+// filtered batch — the downstream form sent to partitioned
+// subscribers, where delivered sequences are sparse in the global
+// order) and the snapshot frame pair (a "snap" header followed by a
+// raw payload) that moves detector.PipelineSnapshot between workers
+// and the broker.
+
+package wire
+
+import (
+	"strconv"
+
+	"sybilwild/internal/osn"
+	"sybilwild/internal/sim"
+)
+
+// MaxSnapshotSize bounds a snapshot payload announced by a snap
+// header. Snapshots are one frame pair per partition, not a stream,
+// so the bound is generous — it exists to reject corrupt headers, not
+// to size buffers.
+const MaxSnapshotSize = 1 << 30
+
+// Canonical fbatch prefix. A filtered batch carries per-event global
+// sequences (the partition's slice of the feed is sparse, so a single
+// first-sequence cannot describe it) plus "last", the cursor the
+// subscriber has provably seen through: last >= every event sequence
+// in the frame, and an fbatch with no events at all is a pure cursor
+// advance past filtered-out foreign events.
+//
+//	{"t":"fbatch","last":L,"events":[{"seq":N,"type":"...","at":T,"actor":A,"target":B,"aux":X},...]}
+const fbatchPrefix = `{"t":"fbatch","last":`
+
+// AppendFBatch appends the canonical filtered-batch payload to dst:
+// events[i] is stamped with global sequence seqs[i], and last is the
+// feed cursor the frame advances the subscriber to. len(seqs) must
+// equal len(events).
+func AppendFBatch(dst []byte, last uint64, seqs []uint64, events []osn.Event) []byte {
+	dst = append(dst, fbatchPrefix...)
+	dst = strconv.AppendUint(dst, last, 10)
+	dst = append(dst, `,"events":[`...)
+	for i, ev := range events {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, `{"seq":`...)
+		dst = strconv.AppendUint(dst, seqs[i], 10)
+		dst = append(dst, `,"type":"`...)
+		dst = append(dst, ev.Type.String()...)
+		dst = append(dst, `","at":`...)
+		dst = strconv.AppendInt(dst, ev.At, 10)
+		dst = append(dst, `,"actor":`...)
+		dst = strconv.AppendInt(dst, int64(int32(ev.Actor)), 10)
+		dst = append(dst, `,"target":`...)
+		dst = strconv.AppendInt(dst, int64(int32(ev.Target)), 10)
+		if ev.Aux != 0 {
+			dst = append(dst, `,"aux":`...)
+			dst = strconv.AppendInt(dst, int64(ev.Aux), 10)
+		}
+		dst = append(dst, '}')
+	}
+	dst = append(dst, ']', '}')
+	return dst
+}
+
+// ParseFBatch decodes a canonical filtered-batch payload, appending
+// events to dstEvs and their global sequences (parallel, same length)
+// to dstSeqs. ok is false on any deviation from the canonical form;
+// transport callers then fall back to encoding/json.
+func ParseFBatch(payload []byte, dstEvs []osn.Event, dstSeqs []uint64) (last uint64, evs []osn.Event, seqs []uint64, ok bool) {
+	c := batchCursor{b: payload}
+	if !c.lit(fbatchPrefix) {
+		return 0, dstEvs, dstSeqs, false
+	}
+	last, numOK := c.uint()
+	if !numOK || !c.lit(`,"events":[`) {
+		return 0, dstEvs, dstSeqs, false
+	}
+	evs, seqs = dstEvs, dstSeqs
+	for n := 0; ; n++ {
+		if c.lit(`]}`) {
+			break
+		}
+		if n > 0 && !c.lit(`,`) {
+			return 0, dstEvs, dstSeqs, false
+		}
+		if !c.lit(`{"seq":`) {
+			return 0, dstEvs, dstSeqs, false
+		}
+		seq, qOK := c.uint()
+		if !qOK || !c.lit(`,"type":`) {
+			return 0, dstEvs, dstSeqs, false
+		}
+		typStr, sOK := c.str()
+		if !sOK {
+			return 0, dstEvs, dstSeqs, false
+		}
+		typ, err := EventTypeFromString(typStr)
+		if err != nil {
+			return 0, dstEvs, dstSeqs, false
+		}
+		if !c.lit(`,"at":`) {
+			return 0, dstEvs, dstSeqs, false
+		}
+		at, aOK := c.int()
+		if !aOK || !c.lit(`,"actor":`) {
+			return 0, dstEvs, dstSeqs, false
+		}
+		actor, acOK := c.int()
+		if !acOK || !c.lit(`,"target":`) {
+			return 0, dstEvs, dstSeqs, false
+		}
+		target, tOK := c.int()
+		if !tOK {
+			return 0, dstEvs, dstSeqs, false
+		}
+		var aux int64
+		if c.lit(`,"aux":`) {
+			var xOK bool
+			aux, xOK = c.int()
+			if !xOK {
+				return 0, dstEvs, dstSeqs, false
+			}
+		}
+		if !c.lit(`}`) {
+			return 0, dstEvs, dstSeqs, false
+		}
+		evs = append(evs, osn.Event{
+			Type:   typ,
+			At:     sim.Time(at),
+			Actor:  osn.AccountID(int32(actor)),
+			Target: osn.AccountID(int32(target)),
+			Aux:    int32(aux),
+		})
+		seqs = append(seqs, seq)
+	}
+	if c.i != len(payload) {
+		return 0, dstEvs, dstSeqs, false
+	}
+	return last, evs, seqs, true
+}
+
+// SnapHeader announces a snapshot payload: which partition it covers,
+// the feed sequence the snapshot is stamped at (a worker restored
+// from it resumes at Seq+1), and the byte length of the raw payload
+// frame that follows.
+type SnapHeader struct {
+	Part  int
+	Parts int
+	Seq   uint64
+	Size  uint64
+}
+
+// Canonical snap-header prefix. The snapshot frame pair is this
+// header followed by one raw (non-JSON) frame of exactly Size bytes
+// holding the serialized detector.PipelineSnapshot.
+//
+//	{"t":"snap","part":P,"parts":K,"seq":S,"size":B}
+const snapPrefix = `{"t":"snap","part":`
+
+// AppendSnapHeader appends the canonical snapshot header payload.
+func AppendSnapHeader(dst []byte, h SnapHeader) []byte {
+	dst = append(dst, snapPrefix...)
+	dst = strconv.AppendInt(dst, int64(h.Part), 10)
+	dst = append(dst, `,"parts":`...)
+	dst = strconv.AppendInt(dst, int64(h.Parts), 10)
+	dst = append(dst, `,"seq":`...)
+	dst = strconv.AppendUint(dst, h.Seq, 10)
+	dst = append(dst, `,"size":`...)
+	dst = strconv.AppendUint(dst, h.Size, 10)
+	return append(dst, '}')
+}
+
+// ParseSnapHeader decodes a canonical snapshot header. ok is false on
+// any deviation (including a Size beyond MaxSnapshotSize, which a
+// reader must treat as corruption rather than allocate for).
+func ParseSnapHeader(payload []byte) (h SnapHeader, ok bool) {
+	c := batchCursor{b: payload}
+	if !c.lit(snapPrefix) {
+		return SnapHeader{}, false
+	}
+	part, pOK := c.int()
+	if !pOK || !c.lit(`,"parts":`) {
+		return SnapHeader{}, false
+	}
+	parts, kOK := c.int()
+	if !kOK || !c.lit(`,"seq":`) {
+		return SnapHeader{}, false
+	}
+	seq, sOK := c.uint()
+	if !sOK || !c.lit(`,"size":`) {
+		return SnapHeader{}, false
+	}
+	size, zOK := c.uint()
+	if !zOK || !c.lit(`}`) || c.i != len(payload) {
+		return SnapHeader{}, false
+	}
+	if parts < 1 || part < 0 || part >= parts || size > MaxSnapshotSize {
+		return SnapHeader{}, false
+	}
+	return SnapHeader{Part: int(part), Parts: int(parts), Seq: seq, Size: size}, true
+}

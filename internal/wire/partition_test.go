@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"testing"
+
+	"sybilwild/internal/osn"
+)
+
+// TestFBatchCodecRoundTrip pins the filtered-batch form: per-event
+// global sequences (sparse), a trailing cursor "last" that may exceed
+// the final event's sequence, and the empty frame (a pure cursor
+// advance). None of the three parsers may accept another's tag.
+func TestFBatchCodecRoundTrip(t *testing.T) {
+	events := []osn.Event{
+		{Type: osn.EvFriendRequest, At: 0, Actor: 1, Target: 2},
+		{Type: osn.EvFriendAccept, At: -5, Actor: 3, Target: 4, Aux: 9},
+		{Type: osn.EvMessage, At: 1 << 40, Actor: -7, Target: 0},
+	}
+	seqs := []uint64{3, 9, 10}
+	payload := AppendFBatch(nil, 14, seqs, events)
+	last, gotEvs, gotSeqs, ok := ParseFBatch(payload, nil, nil)
+	if !ok {
+		t.Fatalf("canonical fbatch rejected: %s", payload)
+	}
+	if last != 14 || len(gotEvs) != len(events) || len(gotSeqs) != len(seqs) {
+		t.Fatalf("last=%d nev=%d nseq=%d, want 14/%d/%d", last, len(gotEvs), len(gotSeqs), len(events), len(seqs))
+	}
+	for i := range events {
+		if gotEvs[i] != events[i] || gotSeqs[i] != seqs[i] {
+			t.Fatalf("event %d: %+v seq %d, want %+v seq %d", i, gotEvs[i], gotSeqs[i], events[i], seqs[i])
+		}
+	}
+	if _, _, _, ok := ParseFBatch(payload[:len(payload)-1], nil, nil); ok {
+		t.Fatal("truncated fbatch accepted")
+	}
+	if _, _, ok := ParseBatch(payload, nil); ok {
+		t.Fatal("ParseBatch accepted an fbatch payload")
+	}
+	if _, _, _, ok := ParseFBatch(AppendBatch(nil, 14, events), nil, nil); ok {
+		t.Fatal("ParseFBatch accepted a batch payload")
+	}
+}
+
+// TestFBatchEmptyAdvance: an fbatch with no events is legal — it is
+// how the broker moves a partitioned subscriber's cursor past a run
+// of foreign events without sending them.
+func TestFBatchEmptyAdvance(t *testing.T) {
+	payload := AppendFBatch(nil, 1234, nil, nil)
+	last, evs, seqs, ok := ParseFBatch(payload, nil, nil)
+	if !ok || last != 1234 || len(evs) != 0 || len(seqs) != 0 {
+		t.Fatalf("empty fbatch: ok=%v last=%d nev=%d nseq=%d", ok, last, len(evs), len(seqs))
+	}
+}
+
+// TestSnapHeaderRoundTrip pins the snapshot header and its validation
+// rules: part within [0,parts), parts >= 1, size bounded.
+func TestSnapHeaderRoundTrip(t *testing.T) {
+	h := SnapHeader{Part: 2, Parts: 5, Seq: 99123, Size: 4096}
+	payload := AppendSnapHeader(nil, h)
+	got, ok := ParseSnapHeader(payload)
+	if !ok || got != h {
+		t.Fatalf("round trip: ok=%v got=%+v want %+v (payload %s)", ok, got, h, payload)
+	}
+	bad := []SnapHeader{
+		{Part: 5, Parts: 5, Seq: 1, Size: 1},                   // part out of range
+		{Part: -1, Parts: 5, Seq: 1, Size: 1},                  // negative part
+		{Part: 0, Parts: 0, Seq: 1, Size: 1},                   // zero parts
+		{Part: 0, Parts: 1, Seq: 1, Size: MaxSnapshotSize + 1}, // oversized payload
+	}
+	for _, b := range bad {
+		if _, ok := ParseSnapHeader(AppendSnapHeader(nil, b)); ok {
+			t.Fatalf("invalid header accepted: %+v", b)
+		}
+	}
+	if _, ok := ParseSnapHeader(payload[:len(payload)-1]); ok {
+		t.Fatal("truncated snap header accepted")
+	}
+}

@@ -60,12 +60,20 @@ func AppendFrame(dst, payload []byte) []byte {
 // ReadFrame reads one length-prefixed payload, reusing buf when it is
 // large enough. The returned slice is only valid until the next call.
 func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	return ReadFrameLimit(r, buf, MaxFrameSize)
+}
+
+// ReadFrameLimit is ReadFrame with a caller-chosen size bound, for
+// frame pairs whose header announces a payload larger than
+// MaxFrameSize (snapshot payloads, bounded by MaxSnapshotSize and the
+// header's own declared size).
+func ReadFrameLimit(r io.Reader, buf []byte, limit uint64) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrameSize {
+	if uint64(n) > limit {
 		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 	}
 	if cap(buf) < int(n) {
@@ -78,8 +86,13 @@ func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
 	return buf, nil
 }
 
-// Event is the JSON wire form of an osn.Event.
+// Event is the JSON wire form of an osn.Event. Seq is only set inside
+// "fbatch" frames, where delivered events are sparse in the global
+// order and each one carries its own feed sequence; contiguous batch
+// frames number events implicitly from the frame's first sequence and
+// leave Seq zero.
 type Event struct {
+	Seq    uint64 `json:"seq,omitempty"`
 	Type   string `json:"type"`
 	At     int64  `json:"at"`
 	Actor  int32  `json:"actor"`
