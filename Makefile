@@ -6,8 +6,8 @@ GO ?= go
 # Output file for bench-json; bump the number each PR that refreshes
 # the committed perf baseline. BENCH_BASE is the previous PR's
 # committed baseline that the fresh run is diffed against.
-BENCH_OUT ?= BENCH_7.json
-BENCH_BASE ?= BENCH_6.json
+BENCH_OUT ?= BENCH_8.json
+BENCH_BASE ?= BENCH_7.json
 
 # Pinned staticcheck release; CI and local runs must agree on the
 # check set, so bump this deliberately, not implicitly.
@@ -34,9 +34,13 @@ bench:
 # Same pass, but emitted as machine-readable JSON so the perf
 # trajectory is trackable PR over PR. Runs as a non-blocking CI step
 # (perf numbers from shared runners inform, they don't gate), so it is
-# deliberately NOT part of `make ci`.
+# deliberately NOT part of `make ci`. BenchmarkPublishIngest runs
+# separately at -cpu 1,4 — the ROADMAP's multi-core scaling evidence:
+# the sequencer shrank to sequence-assignment only, so concurrent
+# producers should overlap encode/fan-out work when cores exist.
 bench-json:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > $(BENCH_OUT).tmp
+	$(GO) test -bench=. -benchtime=1x -run='^$$' -skip='^BenchmarkPublishIngest$$' ./... > $(BENCH_OUT).tmp
+	$(GO) test -bench=BenchmarkPublishIngest -benchtime=1x -run='^$$' -cpu=1,4 ./internal/stream >> $(BENCH_OUT).tmp
 	$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) < $(BENCH_OUT).tmp > $(BENCH_OUT)
 	@rm -f $(BENCH_OUT).tmp
 
@@ -52,6 +56,12 @@ bench-json:
 # two) and single-core runners serialize the workers, so the bound is
 # 4x: loose enough to pass where no parallelism exists, tight enough
 # to catch filtering or contention pathologies.
+#
+# The fan-out gate is the single-encode claim as an invariant: the
+# per-event broadcast cost with 16 subscribers draining shared frames
+# must stay within 2x of 1 subscriber (it was ~16x when every session
+# re-encoded its own copy). It runs at a fixed iteration count so the
+# measured ns/op is steady-state fan-out, not server setup/teardown.
 bench-gate:
 	$(GO) test -bench=BenchmarkPipelineBatch -benchtime=1x -run='^$$' . | \
 		$(GO) run ./cmd/benchjson \
@@ -60,6 +70,10 @@ bench-gate:
 	$(GO) test -bench=BenchmarkPartitionedIngest -benchtime=1x -run='^$$' ./internal/cluster | \
 		$(GO) run ./cmd/benchjson \
 		-gate 'BenchmarkPartitionedIngest/workers=4<=BenchmarkPartitionedIngest/workers=1*4.0' \
+		> /dev/null
+	$(GO) test -bench='BenchmarkBroadcastFanout/subs=(1|16)$$' -benchtime=50000x -run='^$$' ./internal/stream | \
+		$(GO) run ./cmd/benchjson \
+		-gate 'BenchmarkBroadcastFanout/subs=16<=BenchmarkBroadcastFanout/subs=1*2.0' \
 		> /dev/null
 
 # Short deterministic fuzz pass over the wire codecs: each target runs

@@ -23,6 +23,15 @@
 //
 //	go test -bench=PipelineBatch ... | benchjson \
 //	  -gate 'BenchmarkPipelineBatch/shards=4<=BenchmarkPipelineBatch/shards=1*1.15'
+//
+// With -trend 'Name' (or 'Name:unit', default unit ns/op) it reads no
+// stdin at all: it scans the committed BENCH_*.json files — positional
+// arguments override the file list — in numeric order and prints one
+// line per file with the named benchmark's metric and its change from
+// the previous file it appeared in, so the whole perf trajectory of
+// one number is visible without manually diffing baselines:
+//
+//	benchjson -trend 'BenchmarkPublishIngest/producers=4:Mevents/s'
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"log"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -54,7 +64,22 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	compare := flag.String("compare", "", "baseline BENCH JSON file to diff the fresh run against (deltas on stderr)")
 	gate := flag.String("gate", "", "relative invariant 'A<=B*SLACK' over the fresh run's ns/op; exit non-zero when violated")
+	trend := flag.String("trend", "", "print a benchmark metric's trajectory across committed BENCH_*.json files: 'Name' or 'Name:unit' (default ns/op); reads no stdin, positional args override the file list")
 	flag.Parse()
+
+	if *trend != "" {
+		files := flag.Args()
+		if len(files) == 0 {
+			var err error
+			if files, err = filepath.Glob("BENCH_*.json"); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := printTrend(os.Stdout, *trend, files); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	out, err := parseBench(os.Stdin)
 	if err != nil {
@@ -79,6 +104,75 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// printTrend renders one benchmark metric's value across the given
+// baseline files in numeric filename order, with the relative change
+// from the previous file the benchmark appeared in. A file that lacks
+// the benchmark (or the unit) prints as absent rather than breaking
+// the series — benchmarks are born mid-history. A benchmark found in
+// no file at all is an error: a typo must not print an empty, healthy-
+// looking trajectory.
+func printTrend(w io.Writer, spec string, files []string) error {
+	name, unit := spec, "ns/op"
+	if n, u, ok := strings.Cut(spec, ":"); ok && u != "" {
+		name, unit = n, u
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("trend: no BENCH_*.json files found")
+	}
+	files = append([]string(nil), files...)
+	sort.Slice(files, func(i, j int) bool {
+		a, b := baselineSeq(files[i]), baselineSeq(files[j])
+		if a != b {
+			return a < b
+		}
+		return files[i] < files[j]
+	})
+	fmt.Fprintf(w, "trend of %s (%s):\n", name, unit)
+	found := false
+	prev := math.NaN()
+	for _, f := range files {
+		rs, err := loadBaseline(f)
+		if err != nil {
+			return err
+		}
+		r, ok := findByName(rs, name)
+		v, okUnit := r.Metrics[unit]
+		if !ok || !okUnit {
+			fmt.Fprintf(w, "  %-20s (absent)\n", f)
+			continue
+		}
+		delta := ""
+		if !math.IsNaN(prev) {
+			delta = "  (" + deltaString(prev, v) + ")"
+		}
+		fmt.Fprintf(w, "  %-20s %.4g%s\n", f, v, delta)
+		prev = v
+		found = true
+	}
+	if !found {
+		return fmt.Errorf("trend: benchmark %q with unit %q in none of %d files", name, unit, len(files))
+	}
+	return nil
+}
+
+// baselineSeq extracts the first integer run in a baseline filename,
+// so BENCH_10.json sorts after BENCH_9.json; files without one sort
+// first, lexically.
+func baselineSeq(path string) int {
+	base := filepath.Base(path)
+	for i := 0; i < len(base); i++ {
+		if base[i] >= '0' && base[i] <= '9' {
+			v := 0
+			for i < len(base) && base[i] >= '0' && base[i] <= '9' {
+				v = v*10 + int(base[i]-'0')
+				i++
+			}
+			return v
+		}
+	}
+	return -1
 }
 
 // checkGate evaluates one 'A<=B*SLACK' invariant (SLACK optional,

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -86,6 +89,86 @@ func TestCheckGate(t *testing.T) {
 	for _, expr := range []string{"no-operator", "A<=B*zero", "A<=B*-1"} {
 		if err := checkGate(&sb, expr, fresh); err == nil {
 			t.Fatalf("gate %q should have been rejected", expr)
+		}
+	}
+}
+
+func TestPrintTrend(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rs []result) string {
+		data, err := json.Marshal(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	// Passed deliberately out of order, and with BENCH_10 to prove
+	// numeric (not lexical) ordering; the benchmark is missing from the
+	// oldest file (born mid-history) and carries a GOMAXPROCS suffix in
+	// the newest.
+	files := []string{
+		write("BENCH_10.json", []result{{Name: "BenchmarkFanout/subs=16-4",
+			Metrics: map[string]float64{"ns/op": 50, "Mevents/s": 4}}}),
+		write("BENCH_2.json", []result{{Name: "BenchmarkOther",
+			Metrics: map[string]float64{"ns/op": 1}}}),
+		write("BENCH_9.json", []result{{Name: "BenchmarkFanout/subs=16",
+			Metrics: map[string]float64{"ns/op": 100, "Mevents/s": 2}}}),
+	}
+	var sb strings.Builder
+	if err := printTrend(&sb, "BenchmarkFanout/subs=16", files); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		"trend of BenchmarkFanout/subs=16 (ns/op)",
+		"BENCH_2.json",
+		"(absent)",
+		"100",
+		"50  (-50.0%)", // delta vs the previous file it appeared in
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("trend output missing %q:\n%s", want, got)
+		}
+	}
+	// BENCH_9 must precede BENCH_10 (numeric, not lexical, order).
+	if i9, i10 := strings.Index(got, "BENCH_9.json"), strings.Index(got, "BENCH_10.json"); i9 > i10 {
+		t.Fatalf("files not in numeric order:\n%s", got)
+	}
+
+	// Explicit unit selects a custom metric.
+	sb.Reset()
+	if err := printTrend(&sb, "BenchmarkFanout/subs=16:Mevents/s", files); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); !strings.Contains(got, "(Mevents/s)") || !strings.Contains(got, "(+100.0%)") {
+		t.Fatalf("unit trend output wrong:\n%s", got)
+	}
+
+	// A benchmark in no file is an error, not an empty trajectory.
+	if err := printTrend(&sb, "BenchmarkTypo", files); err == nil {
+		t.Fatal("trend of a missing benchmark should have failed")
+	}
+	if err := printTrend(&sb, "BenchmarkFanout/subs=16", nil); err == nil {
+		t.Fatal("trend with no files should have failed")
+	}
+}
+
+func TestBaselineSeq(t *testing.T) {
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"BENCH_7.json", 7},
+		{"BENCH_10.json", 10},
+		{"/some/dir/BENCH_12.json", 12},
+		{"BENCH.json", -1},
+	} {
+		if got := baselineSeq(tc.path); got != tc.want {
+			t.Fatalf("baselineSeq(%q) = %d, want %d", tc.path, got, tc.want)
 		}
 	}
 }

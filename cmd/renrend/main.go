@@ -127,8 +127,20 @@ func main() {
 	pop.Net.SetKeepLog(false) // observers only; no need to retain
 	sent := 0
 	windowStart := time.Now()
+	// Coalesce observer events into broker batches: BroadcastBatch
+	// sequences, encodes and spools one shared frame per run instead of
+	// one per event, which is the broker's single-encode hot path.
+	const flushAt = 256
+	batch := make([]osn.Event, 0, flushAt)
+	flush := func() {
+		srv.BroadcastBatch(batch)
+		batch = batch[:0]
+	}
 	pop.Net.RegisterObserver(func(ev osn.Event) {
-		srv.Broadcast(ev)
+		batch = append(batch, ev)
+		if len(batch) >= flushAt {
+			flush()
+		}
 		if *maxRate <= 0 {
 			return
 		}
@@ -144,6 +156,7 @@ func main() {
 	pop.Bootstrap(*normals)
 	pop.LaunchSybils(*sybils, (*hours)/4*sim.TicksPerHour)
 	pop.RunFor(*hours * sim.TicksPerHour)
+	flush() // tail of the feed
 
 	fmt.Println(pop.Stats())
 	// Per-session lag (worst first): who is holding the feed back, and
@@ -162,7 +175,7 @@ func main() {
 	fmt.Println("campaign complete; draining subscriber replay windows")
 	srv.Close() // blocks until every subscriber drained (or the drain timeout cut it off)
 	st := srv.Stats()
-	fmt.Printf("sent=%d delivered=%d sessions_evicted=%d\n", st.Broadcast, st.Delivered, st.Evicted)
+	fmt.Printf("sent=%d delivered=%d encodes=%d sessions_evicted=%d\n", st.Broadcast, st.Delivered, st.Encodes, st.Evicted)
 	if sp != nil {
 		sst := sp.Stats()
 		line := fmt.Sprintf("spool: %d segments, %d bytes, seqs %d-%d retained", sst.Segments, sst.Bytes, sst.First, sst.End)

@@ -136,7 +136,7 @@ func main() {
 	}
 	srv.Close() // blocks until every subscriber drained (or the drain timeout cut it off)
 	st = srv.Stats()
-	fmt.Printf("sent=%d delivered=%d sessions_evicted=%d\n", st.Broadcast, st.Delivered, st.Evicted)
+	fmt.Printf("sent=%d delivered=%d encodes=%d sessions_evicted=%d\n", st.Broadcast, st.Delivered, st.Encodes, st.Evicted)
 	if sp != nil {
 		sst := sp.Stats()
 		line := fmt.Sprintf("spool: %d segments, %d bytes, seqs %d-%d retained", sst.Segments, sst.Bytes, sst.First, sst.End)

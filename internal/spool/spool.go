@@ -423,14 +423,35 @@ func (s *Spool) Append(first uint64, events []osn.Event) (rolled bool, err error
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.scratch = wire.AppendBatch(s.scratch[:0], first, events)
+	return s.appendFrameLocked(first, len(events), s.scratch)
+}
+
+// AppendFrame stores a pre-encoded canonical batch frame covering n
+// events starting at first. payload must be byte-identical to what
+// wire.AppendBatch(nil, first, events) would emit — the broker's
+// fan-out encodes each batch exactly once under the sequencer and
+// hands the same immutable bytes here and to every subscriber socket,
+// so this entry point skips the re-encode Append would do. The bytes
+// are copied into the segment buffer; the caller keeps ownership of
+// payload. Same contiguity and rolling rules as Append.
+func (s *Spool) AppendFrame(first uint64, n int, payload []byte) (rolled bool, err error) {
+	if n == 0 {
+		return false, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendFrameLocked(first, n, payload)
+}
+
+func (s *Spool) appendFrameLocked(first uint64, n int, payload []byte) (rolled bool, err error) {
 	if s.errSticky != nil {
 		return false, ErrBroken
 	}
 	if s.end != 0 && first != s.end+1 {
 		return false, fmt.Errorf("spool: append at seq %d, want %d (batches must be contiguous)", first, s.end+1)
 	}
-	s.scratch = wire.AppendBatch(s.scratch[:0], first, events)
-	frameLen := int64(4 + len(s.scratch))
+	frameLen := int64(4 + len(payload))
 
 	active := s.active()
 	if active != nil && (active.size+frameLen > s.opt.segmentBytes ||
@@ -449,9 +470,9 @@ func (s *Spool) Append(first uint64, events []osn.Event) (rolled bool, err error
 		}
 		active = s.active()
 	}
-	s.wbuf = wire.AppendFrame(s.wbuf, s.scratch)
+	s.wbuf = wire.AppendFrame(s.wbuf, payload)
 	active.size += frameLen
-	active.last = first + uint64(len(events)) - 1
+	active.last = first + uint64(n) - 1
 	s.end = active.last
 	// Keep the OS-visible file loosely current without a syscall per
 	// append: large pending buffers are written out eagerly, small
@@ -767,6 +788,39 @@ func (r *Reader) Next(dst []osn.Event, max int) (first uint64, evs []osn.Event, 
 		r.next = first + uint64(len(evs)-len(dst))
 	}
 	return first, evs, nil
+}
+
+// NextFrame returns the raw payload of the next on-disk frame at or
+// past the reader's position, with the first sequence and event count
+// it covers. Frames wholly below the position (a mid-segment start)
+// are skipped; a frame straddling the position is returned whole, with
+// first below the reader's prior position — the caller trims or
+// re-encodes the suffix it wants. The payload aliases the reader's
+// buffer and is only valid until the next call. This is the zero-copy
+// counterpart of Next for callers that forward canonical frames
+// verbatim instead of decoding them.
+func (r *Reader) NextFrame() (first uint64, n int, payload []byte, err error) {
+	for {
+		payload, err = r.frameAt(r.next)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		var ok bool
+		first, n, ok = wire.ParseBatchBounds(payload)
+		if !ok {
+			return 0, 0, nil, fmt.Errorf("spool: corrupt frame in %s at byte %d (seq %d expected)",
+				filepath.Base(r.path), r.off, r.next)
+		}
+		if n == 0 || first > r.next {
+			return 0, 0, nil, fmt.Errorf("spool: frame in %s covers seqs %d-%d, expected %d",
+				filepath.Base(r.path), first, first+uint64(n)-1, r.next)
+		}
+		if first+uint64(n)-1 < r.next {
+			continue // wholly below a mid-segment starting point
+		}
+		r.next = first + uint64(n)
+		return first, n, payload, nil
+	}
 }
 
 // frameAt returns the raw payload of the frame containing seq,

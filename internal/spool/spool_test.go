@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sybilwild/internal/osn"
+	"sybilwild/internal/wire"
 )
 
 func testEvent(i int) osn.Event {
@@ -471,6 +472,99 @@ func TestReadFromBoundsChecked(t *testing.T) {
 	}
 	if _, err := sp.ReadFrom(16); err == nil {
 		t.Fatal("ReadFrom past End()+1 accepted")
+	}
+}
+
+// TestAppendFrameMatchesAppend pins the pre-encoded entry point
+// against the encoding one: alternating Append and AppendFrame must
+// produce one contiguous log with identical read-back, and the frame
+// path must enforce the same contiguity rule.
+func TestAppendFrameMatchesAppend(t *testing.T) {
+	sp, err := Open(t.TempDir(), WithSegmentBytes(2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	seq := uint64(1)
+	for i := 0; i < 100; i++ {
+		evs := []osn.Event{testEvent(int(seq)), testEvent(int(seq) + 1), testEvent(int(seq) + 2)}
+		if i%2 == 0 {
+			if _, err := sp.Append(seq, evs); err != nil {
+				t.Fatalf("Append seq %d: %v", seq, err)
+			}
+		} else {
+			payload := wire.AppendBatch(nil, seq, evs)
+			if _, err := sp.AppendFrame(seq, len(evs), payload); err != nil {
+				t.Fatalf("AppendFrame seq %d: %v", seq, err)
+			}
+		}
+		seq += uint64(len(evs))
+	}
+	if got := drain(t, sp, 1); got != 300 {
+		t.Fatalf("read %d events, want 300", got)
+	}
+	gap := wire.AppendBatch(nil, seq+1, []osn.Event{testEvent(0)})
+	if _, err := sp.AppendFrame(seq+1, 1, gap); err == nil {
+		t.Fatal("non-contiguous AppendFrame accepted")
+	}
+}
+
+// TestReaderNextFrame pins the raw-frame read path: frames come back
+// byte-identical to what was appended, a mid-frame starting point
+// returns the straddling frame whole, and EOF at the head clears once
+// more is appended.
+func TestReaderNextFrame(t *testing.T) {
+	sp, err := Open(t.TempDir(), WithSegmentBytes(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	var want [][]byte
+	seq := uint64(1)
+	for i := 0; i < 50; i++ {
+		evs := []osn.Event{testEvent(int(seq)), testEvent(int(seq) + 1)}
+		payload := wire.AppendBatch(nil, seq, evs)
+		want = append(want, payload)
+		if _, err := sp.AppendFrame(seq, len(evs), payload); err != nil {
+			t.Fatalf("append seq %d: %v", seq, err)
+		}
+		seq += 2
+	}
+	rd, err := sp.ReadFrom(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	for i, w := range want {
+		first, n, payload, err := rd.NextFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if first != 1+uint64(2*i) || n != 2 {
+			t.Fatalf("frame %d: first=%d n=%d, want %d/2", i, first, n, 1+2*i)
+		}
+		if string(payload) != string(w) {
+			t.Fatalf("frame %d bytes diverge:\n%s\n%s", i, payload, w)
+		}
+	}
+	if _, _, _, err := rd.NextFrame(); !errors.Is(err, io.EOF) {
+		t.Fatalf("at head: err = %v, want EOF", err)
+	}
+	// Mid-frame start: seq 4 sits inside the frame covering 3-4.
+	mid, err := sp.ReadFrom(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mid.Close()
+	first, n, payload, err := mid.NextFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 3 || n != 2 || string(payload) != string(want[1]) {
+		t.Fatalf("straddling frame: first=%d n=%d payload=%s", first, n, payload)
+	}
+	if first, _, _, err := mid.NextFrame(); err != nil || first != 5 {
+		t.Fatalf("after straddle: first=%d err=%v, want 5/nil", first, err)
 	}
 }
 

@@ -201,56 +201,53 @@ func (s *Server) admitProducer(hello frame, conn net.Conn) (p *producerState, ep
 }
 
 // ingest runs one publish batch through the global sequencer: dedupe
-// by producer batch sequence, append to the spool as a single frame,
-// fan out to every subscriber session. It returns the batch sequence
-// to acknowledge (monotone: replays ack the high-water mark). The
-// total order of the feed is the order producers' batches acquire
+// by producer batch sequence, then the shared batch fan-out core —
+// one canonical encode per maxBatch run, one spool frame, one queue
+// append per subscriber. The sequencer lock covers only the dedupe
+// check and sequence assignment, so concurrent producers overlap
+// everything else (encoding in parallel, delivery ordered by the
+// fan-out ticket). It returns the batch sequence to acknowledge
+// (monotone: replays ack the high-water mark), and only after the
+// fan-out completes — an acked batch is in the spool and every
+// subscriber queue, preserving at-least-once across a broker death.
+// The total order of the feed is the order producers' batches acquire
 // s.mu here, interleaved with any in-process Broadcast calls.
 func (s *Server) ingest(p *producerState, conn net.Conn, epoch, bseq uint64, evs []osn.Event) (uint64, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closing {
+		s.mu.Unlock()
 		return 0, errors.New("server closing")
 	}
 	if p.epoch != epoch || p.conn != conn {
+		s.mu.Unlock()
 		return 0, errFenced
 	}
 	switch {
 	case bseq == 0:
+		s.mu.Unlock()
 		return 0, errors.New("batch sequence 0 (sequences start at 1)")
 	case bseq <= p.bseq:
 		// A reconnect replayed a batch the broker already sequenced:
 		// drop it, but still ack the high-water mark so the producer
 		// can retire it.
 		p.dups++
-		return p.bseq, nil
+		hw := p.bseq
+		s.mu.Unlock()
+		return hw, nil
 	case bseq > p.bseq+1:
+		s.mu.Unlock()
 		return 0, fmt.Errorf("batch sequence gap: have %d, got %d", p.bseq, bseq)
-	}
-	if len(evs) > 0 {
-		first := s.seq + 1
-		if s.spoolUsable() {
-			rolled, err := s.opt.spool.Append(first, evs)
-			if err != nil {
-				s.spoolBroken.Store(true)
-				s.spoolErrMu.Lock()
-				s.spoolErr = err
-				s.spoolErrMu.Unlock()
-				log.Printf("stream: spool append failed, disk replay tier offline: %v", err)
-			} else if rolled {
-				s.opt.spool.Prune(s.minAckedLocked())
-			}
-		}
-		for i, ev := range evs {
-			s.seq = first + uint64(i)
-			for _, sess := range s.sessions {
-				sess.append(ev, s.seq) // may evict, deleting from s.sessions (safe during range)
-			}
-		}
 	}
 	p.bseq = bseq
 	p.batches++
 	p.events += uint64(len(evs))
+	first := s.seq + 1
+	s.seq += uint64(len(evs))
+	s.mu.Unlock()
+
+	if len(evs) > 0 {
+		s.fanout(first, evs, s.encodeChunks(first, evs))
+	}
 	return bseq, nil
 }
 

@@ -49,6 +49,7 @@ func closeOnIngestDone(srv *Server) {
 }
 
 func TestPublishDelivery(t *testing.T) {
+	leakCheck(t)
 	srv, err := NewServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -108,6 +109,7 @@ func TestPublishDelivery(t *testing.T) {
 // producer's stream as an order-preserved subsequence with nothing
 // lost, duplicated, or reordered within a producer.
 func TestPublishInterleavedStress(t *testing.T) {
+	leakCheck(t)
 	const producers, perProducer = 4, 2000
 	srv, err := NewServer("127.0.0.1:0")
 	if err != nil {
@@ -225,6 +227,7 @@ func (p *rawProducer) recv() frame {
 // batch but before the ack arrived resends it on reconnect, and the
 // broker delivers it downstream exactly once.
 func TestPublishReconnectDedupe(t *testing.T) {
+	leakCheck(t)
 	srv, err := NewServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -292,6 +295,7 @@ func TestPublishReconnectDedupe(t *testing.T) {
 // TestPublishBatchGapRejected: a producer that skips a batch sequence
 // is cut off rather than silently creating a hole.
 func TestPublishBatchGapRejected(t *testing.T) {
+	leakCheck(t)
 	srv, err := NewServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -315,6 +319,7 @@ func TestPublishBatchGapRejected(t *testing.T) {
 // TestEOFAfterLastEpoch: with K producers registered, the downstream
 // feed must not end until the last one closes its epoch.
 func TestEOFAfterLastEpoch(t *testing.T) {
+	leakCheck(t)
 	srv, err := NewServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -367,6 +372,7 @@ func TestEOFAfterLastEpoch(t *testing.T) {
 // learns from the broker how many events are already sequenced, skips
 // them, and publishes the rest. Downstream sees each event once.
 func TestRestartedProducerResumesViaSkip(t *testing.T) {
+	leakCheck(t)
 	srv, err := NewServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -439,6 +445,7 @@ func TestRestartedProducerResumesViaSkip(t *testing.T) {
 // TestStaleEpochFenced: once a successor has taken a fresh epoch, the
 // predecessor's zombie connection is refused.
 func TestStaleEpochFenced(t *testing.T) {
+	leakCheck(t)
 	srv, err := NewServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -463,6 +470,7 @@ func TestStaleEpochFenced(t *testing.T) {
 // TestProducerGroupSizeMismatch: all producers must agree on the
 // group size the downstream eof waits for.
 func TestProducerGroupSizeMismatch(t *testing.T) {
+	leakCheck(t)
 	srv, err := NewServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -481,6 +489,7 @@ func TestProducerGroupSizeMismatch(t *testing.T) {
 // flipping live — the feed as a replayable log, not just a resumable
 // one.
 func TestDialFromBackfillsSpooledHistory(t *testing.T) {
+	leakCheck(t)
 	srv, _ := spooledServer(t, 16)
 	const history = 400
 	for i := 0; i < history; i++ {
@@ -500,6 +509,7 @@ func TestDialFromBackfillsSpooledHistory(t *testing.T) {
 // TestDialFromHeadOfEmptyFeed: from=1 on a feed that has nothing yet
 // admits a live session (nothing to backfill), even without a spool.
 func TestDialFromHeadOfEmptyFeed(t *testing.T) {
+	leakCheck(t)
 	srv, err := NewServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -518,6 +528,7 @@ func TestDialFromHeadOfEmptyFeed(t *testing.T) {
 // requested sequence rejects loudly with ErrGap, and history that
 // never spooled (memory-only feed) does too.
 func TestDialFromBelowRetentionIsErrGap(t *testing.T) {
+	leakCheck(t)
 	sp, err := spool.Open(t.TempDir(), spool.WithSegmentBytes(512), spool.WithRetainBytes(1024))
 	if err != nil {
 		t.Fatal(err)
@@ -562,6 +573,7 @@ func TestDialFromBelowRetentionIsErrGap(t *testing.T) {
 // spool like Broadcast ones, so a late subscriber can backfill a
 // multi-producer feed from sequence 1.
 func TestPublishIntoSpooledBroker(t *testing.T) {
+	leakCheck(t)
 	srv, sp := spooledServer(t, 16)
 	const producers, perProducer = 3, 200
 	var wg sync.WaitGroup
@@ -621,6 +633,7 @@ func TestPublishIntoSpooledBroker(t *testing.T) {
 // must cut through a reconnect backoff ladder instead of queueing
 // behind it (the publisher releases its lock around dial and sleep).
 func TestAbortInterruptsReconnect(t *testing.T) {
+	leakCheck(t)
 	srv, err := NewServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -49,6 +49,7 @@ import (
 
 	"sybilwild/internal/osn"
 	"sybilwild/internal/spool"
+	"sybilwild/internal/wire"
 )
 
 // Server tunables. Each has a ServerOption override; the defaults suit
@@ -175,18 +176,51 @@ type Server struct {
 	ln  net.Listener
 	opt serverOptions
 
-	mu       sync.Mutex
-	sessions map[string]*session
-	seq      uint64 // last sequence number assigned
-	closing  bool
-	bcast    [1]osn.Event // reusable single-event batch for spool appends
+	// mu is the sequencer lock: it covers only sequence assignment,
+	// the closing flag, and the producer registry — the phase-1
+	// critical section of the batch fan-out. Encoding, the spool
+	// append, and per-session delivery all happen after it is
+	// released, ordered by the fan-out ticket below, so concurrent
+	// producers overlap everything but the sequence assignment itself.
+	mu      sync.Mutex
+	seq     uint64 // last sequence number assigned
+	closing bool
 
-	// Wire-producer ingest (publish sub-protocol; see publish.go).
+	// Wire-producer ingest (publish sub-protocol; see publish.go),
+	// guarded by mu.
 	producers       map[string]*producerState
 	expectProducers int // producer group size, fixed by the first phello
 	eofed           int // producers that closed their epoch
 	ingestDone      chan struct{}
 
+	// smu guards the sessions map — and nothing else. It is a leaf
+	// lock in the order mu → sess.mu → smu: eviction deletes a map
+	// entry while holding its sess.mu, and fan-out/Stats snapshot the
+	// session list under smu alone, then release it before touching
+	// any sess.mu.
+	smu      sync.Mutex
+	sessions map[string]*session
+
+	// Fan-out ticket: batches acquire sequence ranges under mu, then
+	// hit the spool and the sessions strictly in sequence order.
+	// fanNext is the first sequence whose batch has not yet completed
+	// fan-out; Close waits for fanNext == seq+1 before draining.
+	fanMu   sync.Mutex
+	fanCond *sync.Cond
+	fanNext uint64
+	// fanScratch is the session-snapshot buffer reused across fan-outs
+	// (safe: the ticket serializes the fan-out body). Touched only by
+	// the batch currently holding the ticket.
+	fanScratch []*session
+
+	// Incremental spool-retention floor: the min acked sequence
+	// across sessions, recomputed (under smu) only when floorStale —
+	// set by session churn and by acks that advance the current floor
+	// — so a segment roll's Prune is O(1) in the common case.
+	ackFloor   atomic.Uint64
+	floorStale atomic.Bool
+
+	encodes   atomic.Uint64 // canonical batch/fbatch frame encodes (observability)
 	delivered atomic.Uint64
 	evicted   atomic.Uint64
 
@@ -202,24 +236,45 @@ type Server struct {
 	wg sync.WaitGroup
 }
 
-// session is one subscriber's server-side state: a bounded ring of
-// events awaiting acknowledgement, cursors into it, and the (possibly
-// nil, while disconnected) current connection.
+// chunk is one immutable pre-encoded slice of the feed: up to maxBatch
+// events encoded exactly once into a canonical frame payload, then
+// shared by reference — the spool appends the same bytes every
+// subscriber socket writes. For an unpartitioned chunk the payload is
+// a batch frame and first..last is a contiguous run. For a filtered
+// chunk (parts > 0, built once per partition per batch and shared by
+// every session on that partition) the payload is an fbatch frame,
+// first/last are the first/last sequences the partition owns inside
+// the source chunk, n counts only those, and cursor — the source
+// chunk's end — is the feed position the frame advances the
+// subscriber to.
+type chunk struct {
+	first   uint64
+	last    uint64
+	n       int
+	cursor  uint64
+	payload []byte
+	part    int
+	parts   int
+}
+
+// partKey identifies one shared partition filter.
+type partKey struct{ part, parts int }
+
+// session is one subscriber's server-side state: a bounded window of
+// shared frame chunks awaiting acknowledgement, cursors over the feed,
+// and the (possibly nil, while disconnected) current connection.
 //
 // A session is in exactly one of two modes. Live: the writer drains
-// the ring, which Broadcast appends to. Catch-up (spool servers
-// only): the ring is empty, the writer streams batches from the disk
-// spool, and Broadcast merely notes the advancing head (feedSeq);
-// when the catch-up reaches the head the session flips back to live
-// atomically with respect to Broadcast.
+// the chunk queue, which fan-out appends to. Catch-up (spool servers
+// only): the queue is empty, the writer streams frames from the disk
+// spool, and fan-out merely notes the advancing head (feedSeq); when
+// the catch-up reaches the head the session flips back to live.
 //
-// A partitioned session (parts > 0) additionally filters: append only
-// rings events its partition receives (osn.PartitionDelivers), each
-// stamped with its global sequence in the parallel seqs ring, and the
-// writer emits fbatch frames whose "last" cursor also covers the
-// filtered-out foreign events — so acks, window trims, spool
-// retention, and resume all keep working in global feed coordinates
-// while only the partition's slice crosses the wire.
+// A partitioned session (parts > 0) queues the shared filtered chunks
+// built once per (part, parts) per batch — the writer forwards their
+// fbatch payloads verbatim, so acks, window trims, spool retention,
+// and resume all keep working in global feed coordinates while only
+// the partition's slice crosses the wire.
 type session struct {
 	id  string
 	srv *Server
@@ -229,34 +284,43 @@ type session struct {
 	part  int
 	parts int
 
+	window int // replay-window capacity in events (immutable)
+
 	mu   sync.Mutex
-	cond *sync.Cond  // writer wake: pending events, acks, close, or conn change
-	ring []osn.Event // circular; holds seqs (base, base+n]
-	head int         // ring index of seq base+1
-	n    int
-	// Partitioned sessions only: seqs[i] is the global sequence of
-	// ring[i] (the slice is sparse, so ring arithmetic cannot derive
-	// it), and sentIdx counts ring entries (from head) the writer has
-	// already framed. Unpartitioned sessions derive both from the
-	// contiguous cursors below.
-	seqs    []uint64
-	sentIdx int
-	// Cursors: acked ≤ sent, base ≤ sent ≤ base+n. In live mode the
-	// ring holds (base, base+n]: (base, sent] are in flight, (sent,
-	// base+n] await the writer, and base tracks acked. In catch-up
-	// mode the ring is empty and (acked, sent] are in flight from
+	cond *sync.Cond // writer wake: pending chunks, acks, close, or conn change
+
+	// chunks is the replay window: pre-encoded shared chunks in feed
+	// order, chunks[:sentChunks] already framed to the client and
+	// awaiting ack, the rest awaiting the writer. buffered counts the
+	// events they hold against the window capacity: for an
+	// unpartitioned session it is exactly tail−base (the front chunk
+	// may be partially acknowledged), for a partitioned session the
+	// sum of queued chunks' owned events (trimmed chunk-at-a-time
+	// when a whole chunk falls at or below the ack).
+	chunks     []*chunk
+	sentChunks int
+	buffered   int
+
+	// Cursors: acked ≤ sent ≤ feedSeq, base ≤ sent. In live mode
+	// (base, base+buffered] is windowed: (base, sent] in flight,
+	// the rest awaiting the writer, base tracking acked. In catch-up
+	// mode the queue is empty and (acked, sent] are in flight from
 	// disk; base is reset to sent when the session flips live, so
 	// base can run ahead of acked until the client's acks catch up.
 	// Partitioned sessions use the same cursors in global feed
 	// coordinates: sent is the cursor covered by emitted frames (an
-	// fbatch's "last"), base the trim floor — entries still rung have
+	// fbatch's "last"), base the trim floor — queued chunks hold
 	// sequences > base.
 	acked uint64
 	sent  uint64
 	base  uint64
 
-	catchup bool   // writer streams from the spool instead of the ring
-	feedSeq uint64 // highest sequence Broadcast has shown this session
+	// ackedA mirrors acked for the lock-free retention-floor scan
+	// (srv.ackFloor); it is written only under mu.
+	ackedA atomic.Uint64
+
+	catchup bool   // writer streams from the spool instead of the queue
+	feedSeq uint64 // highest sequence fan-out has shown this session
 
 	conn       net.Conn // nil while detached
 	gen        int      // connection generation; stale writers exit on mismatch
@@ -278,6 +342,13 @@ type ServerStats struct {
 	Delivered uint64
 	Sessions  int    // sessions held (connected or lingering for resume)
 	Evicted   uint64 // sessions evicted with unrecoverable undelivered events — the only loss path
+	// Encodes counts canonical batch/fbatch frame encodes performed —
+	// the fan-out hot path's unit of work. Shared-frame delivery keeps
+	// it O(events/maxBatch + partitions) per batch regardless of the
+	// subscriber count (each batch is encoded once, not once per
+	// session); catch-up suffix trims and partitioned disk catch-up
+	// add to it.
+	Encodes uint64
 	// PerSession breaks lag down by subscriber, sorted worst-lagging
 	// first, so an operator can see which consumer is holding the feed
 	// back before the stall timeout evicts it.
@@ -354,6 +425,9 @@ func NewServer(addr string, opts ...ServerOption) (*Server, error) {
 		// spool already assigned to different events.
 		s.seq = o.spool.End()
 	}
+	s.fanCond = sync.NewCond(&s.fanMu)
+	s.fanNext = s.seq + 1
+	s.floorStale.Store(true)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -380,67 +454,240 @@ func (s *Server) spoolUsable() bool {
 	return s.opt.spool != nil && !s.spoolBroken.Load()
 }
 
-// Broadcast assigns the event the next sequence number, appends it to
-// the spool (when configured), and appends it to every session's
-// replay window. Without a spool it blocks — up to the stall timeout
-// per subscriber — when a connected subscriber's window is full, so a
+// Broadcast assigns the event the next sequence number and runs it
+// through the batch fan-out core (it is BroadcastBatch of one event —
+// callers with more than one event at hand should pass the whole
+// batch, which spools and fans out a single shared frame per maxBatch
+// run instead of one per event). Safe for concurrent use; must not
+// overlap Close.
+func (s *Server) Broadcast(ev osn.Event) {
+	evs := [1]osn.Event{ev}
+	s.BroadcastBatch(evs[:])
+}
+
+// BroadcastBatch assigns the events one contiguous run of sequence
+// numbers and fans the batch out: the canonical frame is encoded
+// exactly once per maxBatch chunk under no lock, appended to the
+// spool (when configured), and shared by reference with every
+// session's replay window — N subscribers cost N queue appends, not N
+// re-encodes. Without a spool it blocks — up to the stall timeout per
+// subscriber — while a connected subscriber's window is full, so a
 // slow consumer slows the feed down instead of losing events; with a
 // spool the full subscriber is demoted to disk catch-up and the feed
-// keeps flowing. Safe for concurrent use; must not overlap Close.
-func (s *Server) Broadcast(ev osn.Event) {
+// keeps flowing. Safe for concurrent use (concurrent batches
+// interleave at sequencing, never within a batch); must not overlap
+// Close.
+func (s *Server) BroadcastBatch(evs []osn.Event) {
+	if len(evs) == 0 {
+		return
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.seq++
+	first := s.seq + 1
+	s.seq += uint64(len(evs))
+	s.mu.Unlock()
+	s.fanout(first, evs, s.encodeChunks(first, evs))
+}
+
+// Conservative per-frame size bounds, used to pre-size chunk payload
+// allocations so the canonical encode never pays append-growth
+// reallocations (from a nil buffer the doubling growth allocates
+// ~2.5x the final frame size — pure GC churn on the hot path).
+const (
+	framePrefixBound = 64  // tag + 20-digit sequence/cursor + events opener
+	batchEventBound  = 128 // one encoded event object, worst-case digits
+	fbatchEventBound = 156 // batch event + embedded `"seq":<20 digits>,`
+)
+
+// encodeChunks performs the batch's only canonical encode: one shared
+// immutable frame payload per maxBatch run. No lock is held — with
+// multiple producers the encodes themselves run concurrently; only
+// delivery is ordered (by the fan-out ticket).
+func (s *Server) encodeChunks(first uint64, evs []osn.Event) []*chunk {
+	n := (len(evs) + s.opt.maxBatch - 1) / s.opt.maxBatch
+	chunks := make([]*chunk, 0, n)
+	slab := make([]chunk, 0, n) // one allocation for all chunk headers
+	for off := 0; off < len(evs); off += s.opt.maxBatch {
+		end := off + s.opt.maxBatch
+		if end > len(evs) {
+			end = len(evs)
+		}
+		cf := first + uint64(off)
+		cl := first + uint64(end) - 1
+		buf := make([]byte, 0, framePrefixBound+batchEventBound*(end-off))
+		slab = append(slab, chunk{
+			first:   cf,
+			last:    cl,
+			n:       end - off,
+			cursor:  cl,
+			payload: wire.AppendBatch(buf, cf, evs[off:end]),
+		})
+		chunks = append(chunks, &slab[len(slab)-1])
+		s.encodes.Add(1)
+	}
+	return chunks
+}
+
+// fanout delivers one sequenced batch: spool append (the same shared
+// bytes), then one queue append per session per chunk. Batches pass
+// through strictly in sequence order — each waits for its ticket —
+// which is what keeps the spool contiguous and every session's queue
+// in feed order while concurrent producers encode in parallel. evs
+// must remain valid until fanout returns (partition filters are built
+// lazily from it, once per (part, parts) and shared across sessions).
+func (s *Server) fanout(first uint64, evs []osn.Event, chunks []*chunk) {
+	s.fanMu.Lock()
+	for s.fanNext != first {
+		s.fanCond.Wait()
+	}
+	s.fanMu.Unlock()
+
 	if s.spoolUsable() {
-		s.bcast[0] = ev
-		rolled, err := s.opt.spool.Append(s.seq, s.bcast[:1])
-		if err != nil {
-			// The disk tier is gone, loudly; the memory tier keeps the
-			// feed alive with its original semantics.
-			s.spoolBroken.Store(true)
-			s.spoolErrMu.Lock()
-			s.spoolErr = err
-			s.spoolErrMu.Unlock()
-			log.Printf("stream: spool append failed, disk replay tier offline: %v", err)
-		} else if rolled {
-			s.opt.spool.Prune(s.minAckedLocked())
+		for _, c := range chunks {
+			rolled, err := s.opt.spool.AppendFrame(c.first, c.n, c.payload)
+			if err != nil {
+				// The disk tier is gone, loudly; the memory tier keeps
+				// the feed alive with its original semantics.
+				s.spoolBroken.Store(true)
+				s.spoolErrMu.Lock()
+				s.spoolErr = err
+				s.spoolErrMu.Unlock()
+				log.Printf("stream: spool append failed, disk replay tier offline: %v", err)
+				break
+			}
+			if rolled {
+				s.pruneSpool(c.last)
+			}
 		}
 	}
-	for _, sess := range s.sessions {
-		sess.append(ev, s.seq) // may evict, deleting from s.sessions (safe during range)
-	}
-}
 
-// minAckedLocked is the retention floor: the lowest acknowledged
-// sequence across live sessions. Caller holds s.mu.
-func (s *Server) minAckedLocked() uint64 {
-	floor := s.seq
+	// The fan-out body runs exclusively (the next batch's ticket is
+	// granted only at the bottom), so the session snapshot lives in a
+	// reused scratch slice instead of a fresh allocation per batch.
+	s.smu.Lock()
+	sessions := s.fanScratch[:0]
 	for _, sess := range s.sessions {
-		sess.mu.Lock()
-		if sess.acked < floor {
-			floor = sess.acked
+		sessions = append(sessions, sess)
+	}
+	s.fanScratch = sessions
+	s.smu.Unlock()
+
+	var fcache map[partKey][]*chunk
+	for _, sess := range sessions {
+		if sess.parts == 0 {
+			for _, c := range chunks {
+				if !sess.appendChunk(c, c.cursor) {
+					break
+				}
+			}
+			continue
 		}
-		sess.mu.Unlock()
+		key := partKey{sess.part, sess.parts}
+		fchunks, ok := fcache[key]
+		if !ok {
+			fchunks = s.filterChunks(chunks, evs, first, sess.part, sess.parts)
+			if fcache == nil {
+				fcache = make(map[partKey][]*chunk)
+			}
+			fcache[key] = fchunks
+		}
+		for i, c := range chunks {
+			if !sess.appendChunk(fchunks[i], c.cursor) {
+				break
+			}
+		}
 	}
-	return floor
+
+	s.fanMu.Lock()
+	s.fanNext = first + uint64(len(evs))
+	s.fanCond.Broadcast()
+	s.fanMu.Unlock()
 }
 
-// append adds ev (sequence seq) to the session's window, blocking
-// while a spool-less connected subscriber's window is full. Caller
-// holds srv.mu (evictions mutate the session table). Returns false if
-// the session was evicted.
-func (sess *session) append(ev osn.Event, seq uint64) bool {
+// filterChunks builds the shared filtered-chunk set for one
+// partition: one fbatch payload per source chunk, encoded once and
+// queued by every session on the partition; nil where the partition
+// owns nothing in a chunk (the cursor-only case).
+func (s *Server) filterChunks(chunks []*chunk, evs []osn.Event, first uint64, part, parts int) []*chunk {
+	out := make([]*chunk, len(chunks))
+	var keep []osn.Event
+	var seqs []uint64
+	for i, c := range chunks {
+		off := int(c.first - first)
+		keep, seqs = filterPartition(evs[off:off+c.n], c.first, part, parts, keep[:0], seqs[:0])
+		if len(keep) == 0 {
+			continue
+		}
+		buf := make([]byte, 0, framePrefixBound+fbatchEventBound*len(keep))
+		out[i] = &chunk{
+			first:   seqs[0],
+			last:    seqs[len(seqs)-1],
+			n:       len(keep),
+			cursor:  c.cursor,
+			payload: wire.AppendFBatch(buf, c.cursor, seqs, keep),
+			part:    part,
+			parts:   parts,
+		}
+		s.encodes.Add(1)
+	}
+	return out
+}
+
+// waitFanned blocks until the batch containing seq has completed
+// fan-out — in particular, until the spool holds it. Catch-up writers
+// use it to bridge the window between sequence assignment and the
+// spool append without spinning.
+func (s *Server) waitFanned(seq uint64) {
+	s.fanMu.Lock()
+	for s.fanNext <= seq {
+		s.fanCond.Wait()
+	}
+	s.fanMu.Unlock()
+}
+
+// pruneSpool runs retention after a segment roll, pinned to the ack
+// floor. The floor is cached: the scan over sessions only reruns when
+// session churn or a floor-advancing ack marked it stale, so the
+// common roll is O(1). Holding smu across the compute-and-prune pair
+// closes the race with a catch-up admit — a session resuming from the
+// spool becomes visible to the scan (and re-checks retention) under
+// the same lock, so pruning can never pass a just-admitted reader.
+func (s *Server) pruneSpool(head uint64) {
+	s.smu.Lock()
+	floor := s.ackFloor.Load()
+	if s.floorStale.Load() {
+		s.floorStale.Store(false)
+		floor = head
+		for _, sess := range s.sessions {
+			if a := sess.ackedA.Load(); a < floor {
+				floor = a
+			}
+		}
+		s.ackFloor.Store(floor)
+	}
+	s.opt.spool.Prune(floor)
+	s.smu.Unlock()
+}
+
+// appendChunk adds one shared chunk to the session's window, blocking
+// while a spool-less connected subscriber's window is full. A nil
+// chunk (partitioned sessions: the partition owns nothing in this
+// run) and a chunk at or below the session's base (admitted after the
+// batch was sequenced; its cursors already cover it) only advance the
+// feed cursor. cursor is the feed position the run ends at. Returns
+// false if the session was evicted.
+func (sess *session) appendChunk(c *chunk, cursor uint64) bool {
 	sess.mu.Lock()
-	sess.feedSeq = seq
-	if sess.parts > 0 && !osn.PartitionDelivers(ev, sess.part, sess.parts) {
-		// Foreign event: this partition never receives it — only the
-		// subscriber's cursor moves. The writer is woken so it can emit
-		// a cursor-advance frame once enough silent feed accumulates
-		// (its wait condition measures feedSeq − sent); the ring cannot
-		// overflow on foreign events, so none of the backpressure or
-		// demotion machinery below applies. The linger clock still
-		// does: a detached partition subscriber expires even if every
-		// event in the meantime was foreign.
+	if cursor > sess.feedSeq {
+		sess.feedSeq = cursor
+	}
+	if c == nil || c.last <= sess.base {
+		// Foreign run: only the subscriber's cursor moves. The writer
+		// is woken so it can emit a cursor-advance frame once enough
+		// silent feed accumulates (its wait condition measures feedSeq
+		// − sent); the window cannot overflow on foreign runs, so none
+		// of the backpressure or demotion machinery below applies. The
+		// linger clock still does: a detached partition subscriber
+		// expires even if every event in the meantime was foreign.
 		if sess.gone || sess.closing {
 			alive := !sess.gone
 			sess.mu.Unlock()
@@ -471,17 +718,20 @@ func (sess *session) append(ev osn.Event, seq uint64) bool {
 				sess.mu.Unlock()
 				return false
 			}
-			// The spool holds the event; wake a writer waiting at the
+			// The spool holds the chunk; wake a writer waiting at the
 			// old head so it keeps reading.
 			sess.cond.Signal()
 			sess.mu.Unlock()
 			return true
 		}
-		full := sess.n == len(sess.ring)
+		// An empty window always accepts a chunk (even one larger than
+		// the window — transient overfill beats a permanent wedge when
+		// window < maxBatch); otherwise the whole chunk must fit.
+		full := sess.buffered > 0 && sess.buffered+c.n > sess.window
 		if full && sess.srv.spoolUsable() && !lingered {
 			// Window overflow with a disk tier: spill to catch-up
 			// instead of blocking the producer (connected) or dying
-			// (detached). The ring's contents are all in the spool.
+			// (detached). The window's contents are all in the spool.
 			sess.demoteLocked()
 			sess.cond.Broadcast()
 			sess.mu.Unlock()
@@ -508,49 +758,56 @@ func (sess *session) append(ev osn.Event, seq uint64) bool {
 			sess.mu.Lock()
 		case <-timer.C:
 			sess.mu.Lock()
-			if sess.n == len(sess.ring) && sess.conn != nil && !sess.gone && !sess.closing {
+			if sess.buffered > 0 && sess.buffered+c.n > sess.window &&
+				sess.conn != nil && !sess.gone && !sess.closing {
 				sess.evictLocked()
 				sess.mu.Unlock()
 				return false
 			}
 		}
 	}
-	idx := (sess.head + sess.n) % len(sess.ring)
-	sess.ring[idx] = ev
-	if sess.parts > 0 {
-		sess.seqs[idx] = seq
-	}
-	sess.n++
+	sess.chunks = append(sess.chunks, c)
+	sess.buffered += c.n
 	sess.cond.Signal()
 	sess.mu.Unlock()
 	return true
 }
 
-// demoteLocked switches the session from live ring delivery to spool
-// catch-up. The ring is cleared — everything it held is on disk — and
-// the writer picks up reading at sent+1. sess.mu must be held.
+// demoteLocked switches the session from live queue delivery to spool
+// catch-up. The queue is cleared — everything it held is on disk —
+// and the writer picks up reading at sent+1. sess.mu must be held.
 func (sess *session) demoteLocked() {
 	sess.catchup = true
-	sess.head, sess.n, sess.sentIdx = 0, 0, 0
+	sess.chunks = nil
+	sess.sentChunks = 0
+	sess.buffered = 0
 	select {
 	case sess.space <- struct{}{}:
 	default:
 	}
 }
 
-// evictLocked removes the session permanently. Both srv.mu and sess.mu
-// must be held. Loss is only counted when undelivered events die with
-// the session irrecoverably — a usable spool still holds them for a
-// later resume, so spooled evictions are not loss.
+// evictLocked removes the session permanently. sess.mu must be held
+// (smu is taken inside, just for the map delete — the identity check
+// keeps a delayed eviction from deleting a newer session reusing the
+// id). Loss is only counted when undelivered events die with the
+// session irrecoverably — a usable spool still holds them for a later
+// resume, so spooled evictions are not loss.
 func (sess *session) evictLocked() {
 	if sess.gone {
 		return
 	}
 	sess.gone = true
-	delete(sess.srv.sessions, sess.id)
-	undelivered := sess.n > 0 || (sess.catchup && sess.acked < sess.feedSeq)
-	if undelivered && !sess.srv.spoolUsable() {
-		sess.srv.evicted.Add(1)
+	srv := sess.srv
+	srv.smu.Lock()
+	if srv.sessions[sess.id] == sess {
+		delete(srv.sessions, sess.id)
+	}
+	srv.smu.Unlock()
+	srv.floorStale.Store(true)
+	undelivered := sess.buffered > 0 || (sess.catchup && sess.acked < sess.feedSeq)
+	if undelivered && !srv.spoolUsable() {
+		srv.evicted.Add(1)
 	}
 	if sess.conn != nil {
 		sess.conn.Close()
@@ -561,7 +818,7 @@ func (sess *session) evictLocked() {
 }
 
 // ackTo processes a client acknowledgement: advance the delivered
-// high-water mark, trim the ring past the acked prefix, and wake a
+// high-water mark, trim fully-acknowledged chunks, and wake a
 // producer or catch-up writer blocked on the window.
 func (sess *session) ackTo(seq uint64) {
 	sess.mu.Lock()
@@ -570,40 +827,68 @@ func (sess *session) ackTo(seq uint64) {
 	}
 	if seq > sess.acked {
 		sess.srv.delivered.Add(seq - sess.acked)
+		old := sess.acked
 		sess.acked = seq
+		sess.ackedA.Store(seq)
+		if old == sess.srv.ackFloor.Load() {
+			// This session may have been the retention floor; let the
+			// next roll rescan so pruning can make progress.
+			sess.srv.floorStale.Store(true)
+		}
 	}
 	switch {
 	case sess.catchup:
 	case sess.parts > 0:
 		sess.trimPartLocked(seq)
 	case seq > sess.base:
-		delta := int(seq - sess.base)
-		sess.head = (sess.head + delta) % len(sess.ring)
-		sess.n -= delta
-		sess.base = seq
-		select {
-		case sess.space <- struct{}{}:
-		default:
-		}
+		sess.trimLocked(seq)
 	}
 	sess.mu.Unlock()
 }
 
-// trimPartLocked drops ring entries with sequence ≤ seq from a
-// partitioned session's window and advances the trim floor. Acks name
-// global feed cursors, so the trim walks the sparse seqs ring instead
-// of using contiguous arithmetic. sess.mu must be held.
-func (sess *session) trimPartLocked(seq uint64) {
-	trimmed := 0
-	for sess.n > 0 && sess.seqs[sess.head] <= seq {
-		sess.head = (sess.head + 1) % len(sess.ring)
-		sess.n--
-		trimmed++
+// trimLocked advances an unpartitioned session's trim floor to seq
+// and drops fully-acknowledged chunks from the queue front (a
+// straddling chunk stays until its last event is acked; its shared
+// payload costs nothing extra). sess.mu must be held; seq > base.
+func (sess *session) trimLocked(seq uint64) {
+	sess.buffered -= int(seq - sess.base)
+	sess.base = seq
+	popped := 0
+	for popped < len(sess.chunks) && sess.chunks[popped].last <= seq {
+		sess.chunks[popped] = nil
+		popped++
 	}
-	if trimmed > 0 {
-		sess.sentIdx -= trimmed
-		if sess.sentIdx < 0 {
-			sess.sentIdx = 0
+	if popped > 0 {
+		sess.chunks = sess.chunks[popped:]
+		sess.sentChunks -= popped
+		if sess.sentChunks < 0 {
+			sess.sentChunks = 0
+		}
+	}
+	select {
+	case sess.space <- struct{}{}:
+	default:
+	}
+}
+
+// trimPartLocked drops queued chunks whose last owned sequence is at
+// or below seq from a partitioned session's window and advances the
+// trim floor. Acks name global feed cursors; trimming is
+// chunk-granular (a chunk with any event above the ack stays whole —
+// a chunk-sized overshoot, bounded by maxBatch, in exchange for never
+// re-slicing a shared frame). sess.mu must be held.
+func (sess *session) trimPartLocked(seq uint64) {
+	popped := 0
+	for popped < len(sess.chunks) && sess.chunks[popped].last <= seq {
+		sess.buffered -= sess.chunks[popped].n
+		sess.chunks[popped] = nil
+		popped++
+	}
+	if popped > 0 {
+		sess.chunks = sess.chunks[popped:]
+		sess.sentChunks -= popped
+		if sess.sentChunks < 0 {
+			sess.sentChunks = 0
 		}
 		select {
 		case sess.space <- struct{}{}:
@@ -651,14 +936,12 @@ func (s *Server) detach(sess *session, gen int) {
 	sess.mu.Unlock()
 }
 
-// evict removes the session under the full lock order (used by the
-// catch-up writer when the spool can no longer serve it).
+// evict removes the session (used by the catch-up writer when the
+// spool can no longer serve it).
 func (s *Server) evict(sess *session) {
-	s.mu.Lock()
 	sess.mu.Lock()
 	sess.evictLocked()
 	sess.mu.Unlock()
-	s.mu.Unlock()
 }
 
 // serveConn performs the handshake, then runs the connection's ack
@@ -764,7 +1047,9 @@ func (s *Server) admit(hello frame, conn net.Conn) (sess *session, gen int, from
 	if s.closing {
 		return nil, 0, 0, "server closing"
 	}
+	s.smu.Lock()
 	sess = s.sessions[hello.Session]
+	s.smu.Unlock()
 	if sess != nil && hello.Resume > 0 &&
 		(sess.parts != hello.Parts || sess.part != hello.Part) {
 		// A session's filter is part of its delivery state: the acks
@@ -802,40 +1087,51 @@ func (s *Server) admit(hello frame, conn net.Conn) (sess *session, gen int, from
 	}
 	if sess != nil {
 		sess.mu.Lock()
+		if sess.gone {
+			// Evicted between the map lookup and taking its lock (a
+			// concurrent fan-out expired its linger): resume falls
+			// through to the disk tier like any unknown session.
+			sess.mu.Unlock()
+			sess = nil
+		}
+	}
+	if sess != nil {
 		switch {
-		case !sess.catchup && sess.parts == 0 && r > sess.base && r <= sess.base+uint64(sess.n)+1:
-			// Memory tier: the ring still holds (or abuts) r.
+		case !sess.catchup && sess.parts == 0 && r > sess.base && r <= sess.base+uint64(sess.buffered)+1:
+			// Memory tier: the window still holds (or abuts) r.
 			// Resuming from r implicitly acknowledges everything
 			// before it.
 			if r-1 > sess.acked {
 				s.delivered.Add(r - 1 - sess.acked)
 				sess.acked = r - 1
+				sess.ackedA.Store(r - 1)
 			}
-			if delta := int(r - 1 - sess.base); delta > 0 {
-				sess.head = (sess.head + delta) % len(sess.ring)
-				sess.n -= delta
-				sess.base = r - 1
-				select {
-				case sess.space <- struct{}{}:
-				default:
-				}
+			if r-1 > sess.base {
+				sess.trimLocked(r - 1)
 			}
-			sess.sent = r - 1 // rewind: resend anything in flight when the conn died
+			// Rewind: resend anything in flight when the conn died.
+			// Every remaining chunk ends above sent, so none count as
+			// framed; the writer re-encodes a straddling front chunk's
+			// suffix so the first frame starts exactly at r.
+			sess.sent = r - 1
+			sess.sentChunks = 0
 			gen = sess.attachLocked(conn)
 			sess.mu.Unlock()
 			return sess, gen, r, ""
 		case !sess.catchup && sess.parts > 0 && r > sess.base:
-			// Partitioned memory tier: entries ≤ base are trimmed, so
-			// r > base means every partition event ≥ r is still rung.
-			// Resume implicitly acks below r; the writer resends the
-			// whole remaining ring (sentIdx rewinds to 0).
+			// Partitioned memory tier: chunks at or below base are
+			// trimmed, so r > base means every partition event ≥ r is
+			// still queued. Resume implicitly acks below r; the writer
+			// resends the remaining chunks whole (the client drops
+			// per-event sequences at or below its cursor).
 			if r-1 > sess.acked {
 				s.delivered.Add(r - 1 - sess.acked)
 				sess.acked = r - 1
+				sess.ackedA.Store(r - 1)
 			}
 			sess.trimPartLocked(r - 1)
 			sess.sent = r - 1
-			sess.sentIdx = 0
+			sess.sentChunks = 0
 			gen = sess.attachLocked(conn)
 			sess.mu.Unlock()
 			return sess, gen, r, ""
@@ -843,6 +1139,7 @@ func (s *Server) admit(hello frame, conn net.Conn) (sess *session, gen int, from
 			// Already catching up; rewind the disk cursor to r.
 			s.delivered.Add(r - 1 - sess.acked)
 			sess.acked = r - 1
+			sess.ackedA.Store(r - 1)
 			sess.sent = r - 1
 			gen = sess.attachLocked(conn)
 			sess.mu.Unlock()
@@ -866,7 +1163,24 @@ func (s *Server) admit(hello frame, conn net.Conn) (sess *session, gen int, from
 		return nil, 0, 0, "unknown session (resume window expired)"
 	}
 	// Disk tier: catch up from segment files, then flip live.
-	sess = s.newSessionLocked(hello.Session, r-1, r <= s.seq, hello.Part, hello.Parts)
+	catchup := r <= s.seq
+	sess = s.newSessionLocked(hello.Session, r-1, catchup, hello.Part, hello.Parts)
+	if catchup {
+		// Retention re-check under smu, now that the session's ack
+		// position is visible to the floor scan: a prune that raced
+		// this admit either saw the session (and spared r) or finished
+		// before this check (and is caught here). pruneSpool holds smu
+		// across its compute-and-prune, so there is no in-between.
+		s.smu.Lock()
+		served := s.spoolServes(r)
+		s.smu.Unlock()
+		if !served {
+			sess.mu.Lock()
+			sess.evictLocked()
+			sess.mu.Unlock()
+			return nil, 0, 0, "resume sequence below the spool retention floor"
+		}
+	}
 	sess.mu.Lock()
 	gen = sess.attachLocked(conn)
 	sess.mu.Unlock()
@@ -885,14 +1199,17 @@ func (s *Server) spoolServes(r uint64) bool {
 
 // newSessionLocked registers a session whose cursors sit at seq
 // (acked = sent = base = seq), subscribed to partition part of parts
-// (0/0 for the full feed). Caller holds s.mu.
+// (0/0 for the full feed). The window is an empty chunk queue — no
+// per-session event ring is allocated; queued chunks are shared.
+// Caller holds s.mu; the map insert takes smu and marks the retention
+// floor stale (the new session's ack position may lower it).
 func (s *Server) newSessionLocked(id string, seq uint64, catchup bool, part, parts int) *session {
 	sess := &session{
 		id:      id,
 		srv:     s,
 		part:    part,
 		parts:   parts,
-		ring:    make([]osn.Event, s.opt.replay),
+		window:  s.opt.replay,
 		acked:   seq,
 		sent:    seq,
 		base:    seq,
@@ -900,11 +1217,12 @@ func (s *Server) newSessionLocked(id string, seq uint64, catchup bool, part, par
 		catchup: catchup,
 		space:   make(chan struct{}, 1),
 	}
-	if parts > 0 {
-		sess.seqs = make([]uint64, s.opt.replay)
-	}
+	sess.ackedA.Store(seq)
 	sess.cond = sync.NewCond(&sess.mu)
+	s.smu.Lock()
 	s.sessions[id] = sess
+	s.floorStale.Store(true)
+	s.smu.Unlock()
 	return sess
 }
 
@@ -940,21 +1258,26 @@ func (s *Server) writer(sess *session, conn net.Conn, gen int) {
 	}
 }
 
-// writeLive drains the session's ring onto the connection in
-// coalesced batch frames: up to maxBatch events per frame, flushed
-// when the window is momentarily empty or the flush interval elapses.
-// At server close it finishes the window, sends the eof frame and
-// arms a read deadline so the ack reader also terminates. It returns
-// true when the session demoted to catch-up (the caller switches
-// loops), false when this writer is done.
+// writeLive drains the session's chunk queue onto the connection.
+// Chunks carry pre-encoded shared frames, so the common case is a
+// zero-encode write of the shared bytes; consecutive small chunks
+// (single-event Broadcasts) are coalesced up to maxBatch by byte
+// splicing — a memcpy merge that reproduces the canonical encoding
+// exactly, still with no encoder on the path. Only a resume landing
+// mid-chunk re-encodes (the suffix of one frame, once per resume). At
+// server close it finishes the window, sends the eof frame and arms a
+// read deadline so the ack reader also terminates. It returns true
+// when the session demoted to catch-up (the caller switches loops),
+// false when this writer is done.
 func (s *Server) writeLive(sess *session, conn net.Conn, bw *bufio.Writer, gen int) bool {
-	scratch := make([]osn.Event, 0, s.opt.maxBatch)
+	var scratch []osn.Event
 	var payload []byte
+	out := make([]*chunk, 0, 32)
 	lastFlush := time.Now()
 	for {
 		sess.mu.Lock()
 		for sess.gen == gen && !sess.closing && !sess.catchup &&
-			sess.sent == sess.base+uint64(sess.n) {
+			sess.sentChunks == len(sess.chunks) {
 			sess.cond.Wait()
 		}
 		if sess.gen != gen {
@@ -969,33 +1292,61 @@ func (s *Server) writeLive(sess *session, conn net.Conn, bw *bufio.Writer, gen i
 			}
 			return true
 		}
-		pending := int(sess.base + uint64(sess.n) - sess.sent)
-		if pending == 0 { // implies closing: window drained, say goodbye
+		if sess.sentChunks == len(sess.chunks) { // implies closing: window drained, say goodbye
 			sess.mu.Unlock()
 			writeControl(bw, frame{T: frameEOF})
 			bw.Flush()
 			conn.SetReadDeadline(time.Now().Add(s.opt.drain))
 			return false
 		}
-		nb := pending
-		if nb > s.opt.maxBatch {
-			nb = s.opt.maxBatch
-		}
-		first := sess.sent + 1
-		off := int(sess.sent - sess.base)
-		scratch = scratch[:0]
-		for k := 0; k < nb; k++ {
-			scratch = append(scratch, sess.ring[(sess.head+off+k)%len(sess.ring)])
-		}
-		sess.sent += uint64(nb)
-		drained := sess.sent == sess.base+uint64(sess.n)
+		out = append(out[:0], sess.chunks[sess.sentChunks:]...)
+		from := sess.sent + 1 // > out[0].first only on a mid-chunk resume
+		sess.sentChunks = len(sess.chunks)
+		sess.sent = out[len(out)-1].last
 		sess.mu.Unlock()
 
-		payload = appendBatchFrame(payload[:0], first, scratch)
-		if err := writeFrame(bw, payload); err != nil {
-			s.detach(sess, gen)
-			return false
+		i := 0
+		if from > out[0].first {
+			// Resume rewound into this chunk: re-encode the suffix so
+			// the first frame starts exactly at the resume point.
+			seq, evs, ok := wire.ParseBatch(out[0].payload, scratch[:0])
+			if !ok || from-seq > uint64(len(evs)) {
+				log.Printf("stream: session %s: corrupt shared chunk at seq %d", sess.id, out[0].first)
+				s.detach(sess, gen)
+				return false
+			}
+			scratch = evs[:0]
+			payload = wire.AppendBatch(payload[:0], from, evs[from-seq:])
+			s.encodes.Add(1)
+			if err := writeFrame(bw, payload); err != nil {
+				s.detach(sess, gen)
+				return false
+			}
+			i = 1
 		}
+		for i < len(out) {
+			j, total := i+1, out[i].n
+			for j < len(out) && total+out[j].n <= s.opt.maxBatch {
+				total += out[j].n
+				j++
+			}
+			var err error
+			if j == i+1 {
+				err = writeFrame(bw, out[i].payload) // shared bytes, zero copy
+			} else {
+				payload = spliceChunks(payload[:0], out[i:j])
+				err = writeFrame(bw, payload)
+			}
+			if err != nil {
+				s.detach(sess, gen)
+				return false
+			}
+			i = j
+		}
+
+		sess.mu.Lock()
+		drained := sess.sentChunks == len(sess.chunks)
+		sess.mu.Unlock()
 		if drained || time.Since(lastFlush) >= s.opt.flushEvery {
 			if err := bw.Flush(); err != nil {
 				s.detach(sess, gen)
@@ -1004,6 +1355,28 @@ func (s *Server) writeLive(sess *session, conn net.Conn, bw *bufio.Writer, gen i
 			lastFlush = time.Now()
 		}
 	}
+}
+
+// spliceChunks merges consecutive contiguous batch chunks into one
+// canonical batch payload by byte splicing: the first payload minus
+// its closing "]}", then each following chunk's events section behind
+// a comma. The result is byte-identical to a fresh encode of the
+// concatenated events (pinned in internal/wire's tests) without
+// running the encoder.
+func spliceChunks(dst []byte, chunks []*chunk) []byte {
+	p0 := chunks[0].payload
+	dst = append(dst, p0[:len(p0)-2]...)
+	for _, c := range chunks[1:] {
+		sec, ok := wire.BatchEventsSection(c.payload)
+		if !ok {
+			// Cannot happen for frames this server encoded; keep the
+			// wire canonical anyway by dropping the merge.
+			continue
+		}
+		dst = append(dst, ',')
+		dst = append(dst, sec...)
+	}
+	return append(dst, ']', '}')
 }
 
 // advanceEvery is how much silent (filtered-out) feed accumulates
@@ -1016,20 +1389,21 @@ func (s *Server) writeLive(sess *session, conn net.Conn, bw *bufio.Writer, gen i
 func (s *Server) advanceEvery() uint64 { return uint64(s.opt.maxBatch) }
 
 // writeLivePart is writeLive for a partitioned session: it drains the
-// filtered ring as fbatch frames (per-event global sequences plus the
-// covering cursor), and emits empty cursor-advance frames across
-// silent stretches of foreign events. Same return contract as
-// writeLive.
+// queue of pre-filtered shared fbatch frames (encoded once per
+// (part, parts) per batch and shared across every session on the
+// partition), and emits empty cursor-advance frames across silent
+// stretches of foreign events. A resume that rewinds into a chunk
+// resends the whole shared frame — the client's per-event sequence
+// dedupe makes that wire-legal — so this path never re-encodes. Same
+// return contract as writeLive.
 func (s *Server) writeLivePart(sess *session, conn net.Conn, bw *bufio.Writer, gen int) bool {
-	scratch := make([]osn.Event, 0, s.opt.maxBatch)
-	seqScratch := make([]uint64, 0, s.opt.maxBatch)
 	var payload []byte
-	lastFlush := time.Now()
+	out := make([]*chunk, 0, 32)
 	adv := s.advanceEvery()
 	for {
 		sess.mu.Lock()
 		for sess.gen == gen && !sess.closing && !sess.catchup &&
-			sess.sentIdx == sess.n && sess.feedSeq-sess.sent < adv {
+			sess.sentChunks == len(sess.chunks) && sess.feedSeq-sess.sent < adv {
 			sess.cond.Wait()
 		}
 		if sess.gen != gen {
@@ -1044,8 +1418,7 @@ func (s *Server) writeLivePart(sess *session, conn net.Conn, bw *bufio.Writer, g
 			}
 			return true
 		}
-		pending := sess.n - sess.sentIdx
-		if pending == 0 {
+		if sess.sentChunks == len(sess.chunks) {
 			last := sess.feedSeq
 			if sess.closing {
 				// Window drained: final cursor advance (the feed may
@@ -1079,43 +1452,71 @@ func (s *Server) writeLivePart(sess *session, conn net.Conn, bw *bufio.Writer, g
 				s.detach(sess, gen)
 				return false
 			}
-			lastFlush = time.Now()
 			continue
 		}
-		nb := pending
-		if nb > s.opt.maxBatch {
-			nb = s.opt.maxBatch
-		}
-		scratch, seqScratch = scratch[:0], seqScratch[:0]
-		for k := 0; k < nb; k++ {
-			idx := (sess.head + sess.sentIdx + k) % len(sess.ring)
-			scratch = append(scratch, sess.ring[idx])
-			seqScratch = append(seqScratch, sess.seqs[idx])
-		}
-		sess.sentIdx += nb
-		last := seqScratch[nb-1]
-		drained := sess.sentIdx == sess.n
-		if drained && sess.feedSeq > last {
-			// Ring drained: extend the cursor over the trailing foreign
+		out = append(out[:0], sess.chunks[sess.sentChunks:]...)
+		sess.sentChunks = len(sess.chunks)
+		cur := out[len(out)-1].cursor
+		if sess.feedSeq > cur {
+			// Queue drained: extend the cursor over the trailing foreign
 			// run so the subscriber's acks track the feed head.
-			last = sess.feedSeq
+			cur = sess.feedSeq
 		}
-		sess.sent = last
+		sess.sent = cur
 		sess.mu.Unlock()
 
-		payload = appendFBatchFrame(payload[:0], last, seqScratch, scratch)
-		if err := writeFrame(bw, payload); err != nil {
-			s.detach(sess, gen)
-			return false
-		}
-		if drained || time.Since(lastFlush) >= s.opt.flushEvery {
-			if err := bw.Flush(); err != nil {
+		i := 0
+		for i < len(out) {
+			j, total := i+1, out[i].n
+			for j < len(out) && total+out[j].n <= s.opt.maxBatch {
+				total += out[j].n
+				j++
+			}
+			last := out[j-1].cursor
+			if j == len(out) && cur > last {
+				last = cur
+			}
+			var werr error
+			if j == i+1 && last == out[i].cursor {
+				werr = writeFrame(bw, out[i].payload) // shared bytes, zero copy
+			} else {
+				payload = spliceFChunks(payload[:0], last, out[i:j])
+				werr = writeFrame(bw, payload)
+			}
+			if werr != nil {
 				s.detach(sess, gen)
 				return false
 			}
-			lastFlush = time.Now()
+			i = j
+		}
+		if err := bw.Flush(); err != nil {
+			s.detach(sess, gen)
+			return false
 		}
 	}
+}
+
+// spliceFChunks merges consecutive filtered chunks into one canonical
+// fbatch payload carrying cursor `last`: the events of fbatch frames
+// embed their own global sequences, so their sections splice behind a
+// fresh prefix just like batch frames — byte-identical to a single
+// fresh encode of the merged run, with no encoder on the path.
+func spliceFChunks(dst []byte, last uint64, chunks []*chunk) []byte {
+	dst = wire.AppendFBatch(dst, last, nil, nil)
+	dst = dst[:len(dst)-2]
+	for k, c := range chunks {
+		sec, ok := wire.FBatchEventsSection(c.payload)
+		if !ok {
+			// Cannot happen for frames this server encoded; keep the
+			// wire canonical anyway by dropping the merge.
+			continue
+		}
+		if k > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, sec...)
+	}
+	return append(dst, ']', '}')
 }
 
 // writeCatchup streams the gap (sent, head] from the disk spool onto
@@ -1133,6 +1534,17 @@ func (s *Server) writeCatchup(sess *session, conn net.Conn, bw *bufio.Writer, ge
 	from := sess.sent + 1
 	told := sess.sent // cursor actually framed to the client (partitioned)
 	sess.mu.Unlock()
+	// The resume point may be sequenced but still mid-fan-out (the
+	// spool append happens inside fanout, after the ticket clears).
+	// Wait for its batch to land before reading — but only for
+	// sequences that were actually assigned; waiting on an unassigned
+	// one would block until some future broadcast.
+	s.mu.Lock()
+	assigned := from <= s.seq
+	s.mu.Unlock()
+	if assigned {
+		s.waitFanned(from)
+	}
 	rd, err := s.opt.spool.ReadFrom(from)
 	if err != nil {
 		log.Printf("stream: session %s catch-up at seq %d unserviceable: %v", sess.id, from, err)
@@ -1146,6 +1558,22 @@ func (s *Server) writeCatchup(sess *session, conn net.Conn, bw *bufio.Writer, ge
 	var payload []byte
 	lastFlush := time.Now()
 	adv := s.advanceEvery()
+	// Unpartitioned catch-up forwards the spool's frames as raw bytes,
+	// coalescing small ones (per-event broadcasts) up to maxBatch by
+	// the same byte splice the live path uses: acc holds canonical
+	// batch bytes minus the closing "]}" covering accN events.
+	next := from
+	var acc []byte
+	accN := 0
+	flushAcc := func() error {
+		if accN == 0 {
+			return nil
+		}
+		acc = append(acc, ']', '}')
+		werr := writeFrame(bw, acc)
+		acc, accN = acc[:0], 0
+		return werr
+	}
 	for {
 		sess.mu.Lock()
 		if sess.gen != gen || sess.gone {
@@ -1154,12 +1582,38 @@ func (s *Server) writeCatchup(sess *session, conn net.Conn, bw *bufio.Writer, ge
 		}
 		sess.mu.Unlock()
 
-		first, evs, err := rd.Next(scratch[:0], s.opt.maxBatch)
+		var first, end uint64
+		var rerr error
+		var raw []byte
+		var rawN int
+		if sess.parts > 0 {
+			var evs []osn.Event
+			first, evs, rerr = rd.Next(scratch[:0], s.opt.maxBatch)
+			if rerr == nil {
+				end = first + uint64(len(evs)) - 1
+				scratch = evs[:0]
+				// Filter the run down to the partition's slice; the
+				// frame's cursor still covers the whole run. A fully
+				// foreign run is framed only once enough silence has
+				// accumulated to be worth a cursor advance.
+				keep, keepSeqs = filterPartition(evs, first, sess.part, sess.parts, keep[:0], keepSeqs[:0])
+			}
+		} else {
+			first, rawN, raw, rerr = rd.NextFrame()
+			if rerr == nil {
+				end = first + uint64(rawN) - 1
+			}
+		}
 		switch {
-		case errors.Is(err, io.EOF):
+		case errors.Is(rerr, io.EOF):
 			// Reached everything spooled. Flush the wire, then try to
 			// flip live: under s.mu no new sequence can be assigned,
-			// so sent == s.seq means the ring takes over gaplessly.
+			// so sent == s.seq means the chunk queue takes over
+			// gaplessly.
+			if ferr := flushAcc(); ferr != nil {
+				s.detach(sess, gen)
+				return false
+			}
 			if sess.parts > 0 {
 				// Bring the client's cursor current first, so the flip
 				// boundary is exact even when the tail of the spool was
@@ -1191,7 +1645,9 @@ func (s *Server) writeCatchup(sess *session, conn net.Conn, bw *bufio.Writer, ge
 			if s.seq == sess.sent {
 				sess.catchup = false
 				sess.base = sess.sent
-				sess.head, sess.n, sess.sentIdx = 0, 0, 0
+				sess.chunks = nil
+				sess.sentChunks = 0
+				sess.buffered = 0
 				sess.mu.Unlock()
 				s.mu.Unlock()
 				return true
@@ -1216,13 +1672,12 @@ func (s *Server) writeCatchup(sess *session, conn net.Conn, bw *bufio.Writer, ge
 				return false
 			}
 			continue
-		case err != nil:
-			log.Printf("stream: session %s catch-up read failed: %v", sess.id, err)
+		case rerr != nil:
+			log.Printf("stream: session %s catch-up read failed: %v", sess.id, rerr)
 			s.evict(sess)
 			return false
 		}
 
-		end := first + uint64(len(evs)) - 1
 		sess.mu.Lock()
 		if sess.gen != gen || sess.gone {
 			sess.mu.Unlock()
@@ -1232,32 +1687,73 @@ func (s *Server) writeCatchup(sess *session, conn net.Conn, bw *bufio.Writer, ge
 		sess.mu.Unlock()
 
 		if sess.parts > 0 {
-			// Filter the chunk down to the partition's slice; the
-			// frame's cursor still covers the whole chunk. A fully
-			// foreign chunk is framed only once enough silence has
-			// accumulated to be worth a cursor advance.
-			keep, keepSeqs = filterPartition(evs, first, sess.part, sess.parts, keep[:0], keepSeqs[:0])
 			if len(keep) == 0 && end-told < adv {
-				scratch = evs[:0]
 				continue
 			}
 			payload = appendFBatchFrame(payload[:0], end, keepSeqs, keep)
 			told = end
+			if werr := writeFrame(bw, payload); werr != nil {
+				s.detach(sess, gen)
+				return false
+			}
+		} else if first < next {
+			// ReadFrom landed mid-frame: re-encode the suffix so the
+			// first frame starts exactly at the resume point. Happens
+			// at most once per resume.
+			seq, evs, ok := wire.ParseBatch(raw, scratch[:0])
+			if !ok || next-seq > uint64(len(evs)) {
+				log.Printf("stream: session %s: corrupt spool frame at seq %d", sess.id, first)
+				s.evict(sess)
+				return false
+			}
+			scratch = evs[:0]
+			payload = wire.AppendBatch(payload[:0], next, evs[next-seq:])
+			s.encodes.Add(1)
+			if werr := writeFrame(bw, payload); werr != nil {
+				s.detach(sess, gen)
+				return false
+			}
+			next = end + 1
 		} else {
-			payload = appendBatchFrame(payload[:0], first, evs)
-		}
-		if err := writeFrame(bw, payload); err != nil {
-			s.detach(sess, gen)
-			return false
+			if accN > 0 && accN+rawN > s.opt.maxBatch {
+				if werr := flushAcc(); werr != nil {
+					s.detach(sess, gen)
+					return false
+				}
+			}
+			switch {
+			case accN == 0 && rawN >= s.opt.maxBatch:
+				if werr := writeFrame(bw, raw); werr != nil { // raw disk bytes, no encode
+					s.detach(sess, gen)
+					return false
+				}
+			case accN == 0:
+				acc = append(acc[:0], raw[:len(raw)-2]...)
+				accN = rawN
+			default:
+				sec, ok := wire.BatchEventsSection(raw)
+				if !ok {
+					log.Printf("stream: session %s: corrupt spool frame at seq %d", sess.id, first)
+					s.evict(sess)
+					return false
+				}
+				acc = append(acc, ',')
+				acc = append(acc, sec...)
+				accN += rawN
+			}
+			next = end + 1
 		}
 		if time.Since(lastFlush) >= s.opt.flushEvery {
-			if err := bw.Flush(); err != nil {
+			if werr := flushAcc(); werr != nil {
+				s.detach(sess, gen)
+				return false
+			}
+			if werr := bw.Flush(); werr != nil {
 				s.detach(sess, gen)
 				return false
 			}
 			lastFlush = time.Now()
 		}
-		scratch = evs[:0]
 	}
 }
 
@@ -1279,28 +1775,6 @@ func filterPartition(evs []osn.Event, first uint64, part, parts int, keep []osn.
 func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
 	seq := s.seq
-	per := make([]SessionStats, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		sess.mu.Lock()
-		st := SessionStats{
-			ID:        sess.id,
-			Connected: sess.conn != nil,
-			CatchUp:   sess.catchup,
-			Part:      sess.part,
-			Parts:     sess.parts,
-			Acked:     sess.acked,
-			Buffered:  sess.n,
-			Window:    len(sess.ring),
-		}
-		sess.mu.Unlock()
-		if seq > st.Acked {
-			st.Behind = seq - st.Acked
-		}
-		if st.Window > 0 {
-			st.Fill = float64(st.Buffered) / float64(st.Window)
-		}
-		per = append(per, st)
-	}
 	prod := make([]ProducerStats, 0, len(s.producers))
 	for _, p := range s.producers {
 		prod = append(prod, ProducerStats{
@@ -1314,6 +1788,34 @@ func (s *Server) Stats() ServerStats {
 		})
 	}
 	s.mu.Unlock()
+	s.smu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.smu.Unlock()
+	per := make([]SessionStats, 0, len(sessions))
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		st := SessionStats{
+			ID:        sess.id,
+			Connected: sess.conn != nil,
+			CatchUp:   sess.catchup,
+			Part:      sess.part,
+			Parts:     sess.parts,
+			Acked:     sess.acked,
+			Buffered:  sess.buffered,
+			Window:    sess.window,
+		}
+		sess.mu.Unlock()
+		if seq > st.Acked {
+			st.Behind = seq - st.Acked
+		}
+		if st.Window > 0 {
+			st.Fill = float64(st.Buffered) / float64(st.Window)
+		}
+		per = append(per, st)
+	}
 	sort.Slice(prod, func(i, j int) bool { return prod[i].ID < prod[j].ID })
 	sort.Slice(per, func(i, j int) bool {
 		if per[i].Behind != per[j].Behind {
@@ -1324,6 +1826,7 @@ func (s *Server) Stats() ServerStats {
 	st := ServerStats{
 		Broadcast:   seq,
 		Delivered:   s.delivered.Load(),
+		Encodes:     s.encodes.Load(),
 		Sessions:    len(per),
 		Evicted:     s.evicted.Load(),
 		PerSession:  per,
@@ -1345,10 +1848,14 @@ func (s *Server) Stats() ServerStats {
 // NumClients returns the number of currently connected subscribers
 // (lingering disconnected sessions not included).
 func (s *Server) NumClients() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
+	s.smu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
 	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.smu.Unlock()
+	n := 0
+	for _, sess := range sessions {
 		sess.mu.Lock()
 		if sess.conn != nil {
 			n++
@@ -1381,8 +1888,30 @@ func (s *Server) Close() error {
 			p.conn = nil
 		}
 	}
-	for id, sess := range s.sessions {
+	seq := s.seq
+	s.mu.Unlock()
+
+	// Let any batch already past the sequencer finish its fan-out, so
+	// the final events reach the spool and every session's queue before
+	// the drain starts.
+	s.fanMu.Lock()
+	for s.fanNext <= seq {
+		s.fanCond.Wait()
+	}
+	s.fanMu.Unlock()
+
+	s.smu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.smu.Unlock()
+	for _, sess := range sessions {
 		sess.mu.Lock()
+		if sess.gone {
+			sess.mu.Unlock()
+			continue
+		}
 		sess.closing = true
 		if sess.conn != nil {
 			sess.conn.SetWriteDeadline(time.Now().Add(s.opt.drain))
@@ -1390,31 +1919,26 @@ func (s *Server) Close() error {
 		} else {
 			// Nothing to drain to; the window dies with the server
 			// (but spooled events survive on disk for a restarted
-			// producer).
-			sess.gone = true
-			if (sess.n > 0 || (sess.catchup && sess.acked < sess.feedSeq)) && !s.spoolUsable() {
-				s.evicted.Add(1)
-			}
-			delete(s.sessions, id)
+			// producer). evictLocked counts the loss.
+			sess.evictLocked()
 		}
 		sess.mu.Unlock()
 	}
-	s.mu.Unlock()
 	s.wg.Wait()
-	s.mu.Lock()
-	for id, sess := range s.sessions {
-		// Anything still buffered here died undelivered (e.g. the
-		// drain deadline cut off a stalled subscriber): that is loss,
-		// and loss is always counted — unless the spool still holds
-		// it for a future resume against a restarted producer.
-		sess.mu.Lock()
-		if (sess.n > 0 || (sess.catchup && sess.acked < sess.feedSeq)) && !s.spoolUsable() {
-			s.evicted.Add(1)
-		}
-		sess.gone = true
-		sess.mu.Unlock()
-		delete(s.sessions, id)
+	// Final sweep: anything still buffered here died undelivered (e.g.
+	// the drain deadline cut off a stalled subscriber): that is loss,
+	// and loss is always counted — unless the spool still holds it for
+	// a future resume against a restarted producer.
+	s.smu.Lock()
+	rest := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		rest = append(rest, sess)
 	}
-	s.mu.Unlock()
+	s.smu.Unlock()
+	for _, sess := range rest {
+		sess.mu.Lock()
+		sess.evictLocked()
+		sess.mu.Unlock()
+	}
 	return err
 }

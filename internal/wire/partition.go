@@ -62,6 +62,29 @@ func AppendFBatch(dst []byte, last uint64, seqs []uint64, events []osn.Event) []
 	return dst
 }
 
+// FBatchEventsSection returns the byte range of a canonical
+// filtered-batch payload holding the comma-separated event objects
+// (empty for a pure cursor advance), aliasing payload. Because events
+// carry their own "seq" fields, the sections of consecutive fbatch
+// frames splice with ',' under a fresh prefix carrying the final
+// frame's cursor into a payload byte-identical to a single AppendFBatch
+// over the concatenated events — the fbatch analogue of
+// BatchEventsSection. ok is false when payload is not a canonical
+// fbatch.
+func FBatchEventsSection(payload []byte) ([]byte, bool) {
+	c := batchCursor{b: payload}
+	if !c.lit(fbatchPrefix) {
+		return nil, false
+	}
+	if _, numOK := c.uint(); !numOK || !c.lit(`,"events":[`) {
+		return nil, false
+	}
+	if len(payload) < c.i+2 || payload[len(payload)-2] != ']' || payload[len(payload)-1] != '}' {
+		return nil, false
+	}
+	return payload[c.i : len(payload)-2], true
+}
+
 // ParseFBatch decodes a canonical filtered-batch payload, appending
 // events to dstEvs and their global sequences (parallel, same length)
 // to dstSeqs. ok is false on any deviation from the canonical form;

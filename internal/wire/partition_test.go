@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"testing"
 
 	"sybilwild/internal/osn"
@@ -49,6 +50,59 @@ func TestFBatchEmptyAdvance(t *testing.T) {
 	last, evs, seqs, ok := ParseFBatch(payload, nil, nil)
 	if !ok || last != 1234 || len(evs) != 0 || len(seqs) != 0 {
 		t.Fatalf("empty fbatch: ok=%v last=%d nev=%d nseq=%d", ok, last, len(evs), len(seqs))
+	}
+}
+
+// TestFBatchEventsSectionSplice pins the fbatch splice contract:
+// because every event object embeds its own global "seq", joining the
+// events sections of consecutive frames with ',' under a fresh prefix
+// carrying the FINAL frame's cursor must reproduce AppendFBatch over
+// the concatenated (seqs, events), byte for byte — what lets the
+// broker coalesce pre-encoded partitioned frames with memcpy instead
+// of a re-encode.
+func TestFBatchEventsSectionSplice(t *testing.T) {
+	aEvs := []osn.Event{
+		{Type: osn.EvFriendRequest, At: 1, Actor: 1, Target: 2},
+		{Type: osn.EvMessage, At: 2, Actor: 2, Target: 1, Aux: 5},
+	}
+	aSeqs := []uint64{3, 7}
+	bEvs := []osn.Event{
+		{Type: osn.EvBan, At: 3, Actor: -1, Target: 4},
+	}
+	bSeqs := []uint64{11}
+	fa := AppendFBatch(nil, 8, aSeqs, aEvs)
+	fb := AppendFBatch(nil, 13, bSeqs, bEvs)
+	sa, ok := FBatchEventsSection(fa)
+	if !ok {
+		t.Fatalf("section of %s rejected", fa)
+	}
+	sb, ok := FBatchEventsSection(fb)
+	if !ok {
+		t.Fatalf("section of %s rejected", fb)
+	}
+	spliced := AppendFBatch(nil, 13, nil, nil) // final frame's cursor
+	spliced = spliced[:len(spliced)-2]         // drop "]}"
+	spliced = append(spliced, sa...)
+	spliced = append(spliced, ',')
+	spliced = append(spliced, sb...)
+	spliced = append(spliced, ']', '}')
+	want := AppendFBatch(nil, 13,
+		append(append([]uint64{}, aSeqs...), bSeqs...),
+		append(append([]osn.Event{}, aEvs...), bEvs...))
+	if !bytes.Equal(spliced, want) {
+		t.Fatalf("splice diverges from fresh encode:\n%s\n%s", spliced, want)
+	}
+	// A pure cursor advance has an empty section — a splice starting
+	// from it must not emit a leading comma; pin the section itself.
+	se, ok := FBatchEventsSection(AppendFBatch(nil, 99, nil, nil))
+	if !ok || len(se) != 0 {
+		t.Fatalf("empty fbatch section: %q ok=%v, want empty/true", se, ok)
+	}
+	if _, ok := FBatchEventsSection(AppendBatch(nil, 1, aEvs)); ok {
+		t.Fatal("fbatch events section accepted a batch payload")
+	}
+	if _, ok := BatchEventsSection(fa); ok {
+		t.Fatal("batch events section accepted an fbatch payload")
 	}
 }
 

@@ -278,6 +278,54 @@ func ParsePBatch(payload []byte, dst []osn.Event) (bseq uint64, evs []osn.Event,
 	return parseBatch(payload, pbatchPrefix, dst)
 }
 
+// ParseBatchBounds reports the first sequence and event count of a
+// canonical batch payload without decoding the events. It exists for
+// the broker's shared-frame fan-out, which moves pre-encoded frames
+// around and only needs to know which sequence run a frame covers.
+// The payload must have been produced by AppendBatch; counting relies
+// on canonical event objects being flat, with enum-only string values
+// that can never contain '{'.
+func ParseBatchBounds(payload []byte) (first uint64, n int, ok bool) {
+	c := batchCursor{b: payload}
+	if !c.lit(batchPrefix) {
+		return 0, 0, false
+	}
+	first, numOK := c.uint()
+	if !numOK || !c.lit(`,"events":[`) {
+		return 0, 0, false
+	}
+	if len(payload) < c.i+2 || payload[len(payload)-2] != ']' || payload[len(payload)-1] != '}' {
+		return 0, 0, false
+	}
+	for _, b := range payload[c.i : len(payload)-2] {
+		if b == '{' {
+			n++
+		}
+	}
+	return first, n, true
+}
+
+// BatchEventsSection returns the raw contents of a canonical batch
+// payload's events array (the bytes between '[' and ']'). Splicing
+// these sections with ',' separators under a fresh batch prefix yields
+// a frame byte-identical to AppendBatch over the concatenated events —
+// the merge path for coalescing consecutive pre-encoded frames without
+// touching an encoder. The payload must have been produced by
+// AppendBatch.
+func BatchEventsSection(payload []byte) ([]byte, bool) {
+	c := batchCursor{b: payload}
+	if !c.lit(batchPrefix) {
+		return nil, false
+	}
+	if _, numOK := c.uint(); !numOK || !c.lit(`,"events":[`) {
+		return nil, false
+	}
+	if len(payload) < c.i+2 || payload[len(payload)-2] != ']' || payload[len(payload)-1] != '}' {
+		return nil, false
+	}
+	return payload[c.i : len(payload)-2], true
+}
+
 func parseBatch(payload []byte, prefix string, dst []osn.Event) (seq uint64, evs []osn.Event, ok bool) {
 	c := batchCursor{b: payload}
 	if !c.lit(prefix) {

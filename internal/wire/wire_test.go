@@ -65,6 +65,78 @@ func TestBatchCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// TestParseBatchBounds pins the cheap bounds probe against the full
+// parser on canonical payloads of every shape the broker produces,
+// including the empty batch.
+func TestParseBatchBounds(t *testing.T) {
+	cases := [][]osn.Event{
+		nil,
+		{{Type: osn.EvMessage, At: 1, Actor: 2, Target: 3}},
+		{
+			{Type: osn.EvFriendRequest, At: 0, Actor: 1, Target: 2},
+			{Type: osn.EvFriendAccept, At: -5, Actor: 3, Target: 4, Aux: 9},
+			{Type: osn.EvBan, At: 1 << 40, Actor: -7, Target: 0},
+		},
+	}
+	for _, events := range cases {
+		payload := AppendBatch(nil, 42, events)
+		first, n, ok := ParseBatchBounds(payload)
+		if !ok || first != 42 || n != len(events) {
+			t.Fatalf("bounds of %s: first=%d n=%d ok=%v, want 42/%d/true", payload, first, n, ok, len(events))
+		}
+	}
+	if _, _, ok := ParseBatchBounds(AppendPBatch(nil, 1, nil)); ok {
+		t.Fatal("bounds probe accepted a pbatch payload")
+	}
+	if _, _, ok := ParseBatchBounds([]byte(`{"t":"batch","seq":1,"events":[`)); ok {
+		t.Fatal("bounds probe accepted a truncated payload")
+	}
+}
+
+// TestBatchEventsSectionSplice pins the splice contract: joining the
+// events sections of consecutive frames with ',' under a fresh prefix
+// must reproduce AppendBatch over the concatenated events, byte for
+// byte — this is what lets the broker merge pre-encoded frames with
+// memcpy instead of a re-encode.
+func TestBatchEventsSectionSplice(t *testing.T) {
+	a := []osn.Event{
+		{Type: osn.EvFriendRequest, At: 1, Actor: 1, Target: 2},
+		{Type: osn.EvMessage, At: 2, Actor: 2, Target: 1, Aux: 5},
+	}
+	b := []osn.Event{
+		{Type: osn.EvBan, At: 3, Actor: -1, Target: 4},
+	}
+	fa := AppendBatch(nil, 10, a)
+	fb := AppendBatch(nil, 12, b)
+	sa, ok := BatchEventsSection(fa)
+	if !ok {
+		t.Fatalf("section of %s rejected", fa)
+	}
+	sb, ok := BatchEventsSection(fb)
+	if !ok {
+		t.Fatalf("section of %s rejected", fb)
+	}
+	spliced := AppendBatch(nil, 10, nil)
+	spliced = spliced[:len(spliced)-2] // drop "]}"
+	spliced = append(spliced, sa...)
+	spliced = append(spliced, ',')
+	spliced = append(spliced, sb...)
+	spliced = append(spliced, ']', '}')
+	want := AppendBatch(nil, 10, append(append([]osn.Event{}, a...), b...))
+	if !bytes.Equal(spliced, want) {
+		t.Fatalf("splice diverges from fresh encode:\n%s\n%s", spliced, want)
+	}
+	// An empty batch's section is empty, so a splice starting from it
+	// must not emit a leading comma; pin the section itself.
+	se, ok := BatchEventsSection(AppendBatch(nil, 1, nil))
+	if !ok || len(se) != 0 {
+		t.Fatalf("empty batch section: %q ok=%v, want empty/true", se, ok)
+	}
+	if _, ok := BatchEventsSection(AppendPBatch(nil, 1, a)); ok {
+		t.Fatal("events section accepted a pbatch payload")
+	}
+}
+
 // TestPBatchCodecRoundTrip pins the publish-side batch form: same
 // canonical event encoding as the downstream batch, different tag and
 // sequence meaning — and neither parser may accept the other's tag,
