@@ -6,8 +6,8 @@ GO ?= go
 # Output file for bench-json; bump the number each PR that refreshes
 # the committed perf baseline. BENCH_BASE is the previous PR's
 # committed baseline that the fresh run is diffed against.
-BENCH_OUT ?= BENCH_8.json
-BENCH_BASE ?= BENCH_7.json
+BENCH_OUT ?= BENCH_9.json
+BENCH_BASE ?= BENCH_8.json
 
 # Pinned staticcheck release; CI and local runs must agree on the
 # check set, so bump this deliberately, not implicitly.
@@ -62,6 +62,13 @@ bench-json:
 # must stay within 2x of 1 subscriber (it was ~16x when every session
 # re-encoded its own copy). It runs at a fixed iteration count so the
 # measured ns/op is steady-state fan-out, not server setup/teardown.
+#
+# The live-rebalance gate bounds the cutover pause — snapshot the old
+# workers, split/merge-re-key, adopt — at 100k accounts, relative to a
+# single 100k-account Snapshot measured in the same run (so runner
+# speed cancels). The cost is dominated by the K+K' snapshot walks
+# plus the re-key, hence the shape-dependent bounds: 4->2 within 6x of
+# one snapshot, 3->5 within 10x.
 bench-gate:
 	$(GO) test -bench=BenchmarkPipelineBatch -benchtime=1x -run='^$$' . | \
 		$(GO) run ./cmd/benchjson \
@@ -75,13 +82,18 @@ bench-gate:
 		$(GO) run ./cmd/benchjson \
 		-gate 'BenchmarkBroadcastFanout/subs=16<=BenchmarkBroadcastFanout/subs=1*2.0' \
 		> /dev/null
+	$(GO) test -bench='^BenchmarkSnapshot$$|^BenchmarkLiveRebalance' -benchtime=1x -run='^$$' ./internal/detector | \
+		$(GO) run ./cmd/benchjson \
+		-gate 'BenchmarkLiveRebalance/k=4to2<=BenchmarkSnapshot/accounts=100000*6.0' \
+		-gate 'BenchmarkLiveRebalance/k=3to5<=BenchmarkSnapshot/accounts=100000*10.0' \
+		> /dev/null
 
 # Short deterministic fuzz pass over the wire codecs: each target runs
 # its committed corpus plus a few seconds of new coverage-guided
 # inputs. Crashes fail the build; new interesting inputs stay in the
 # local build cache (promote them to testdata/fuzz to commit them).
 fuzz-smoke:
-	@for tgt in FuzzBatch FuzzPBatch FuzzFBatch FuzzSnapHeader FuzzReadFrame; do \
+	@for tgt in FuzzBatch FuzzPBatch FuzzFBatch FuzzSnapHeader FuzzReadFrame FuzzRebal; do \
 		$(GO) test ./internal/wire/ -run='^$$' -fuzz "^$$tgt$$" -fuzztime 5s || exit 1; \
 	done
 
@@ -127,4 +139,4 @@ staticcheck:
 		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
 	fi
 
-ci: fmt vet build race bench docs staticcheck
+ci: fmt vet build race bench bench-gate fuzz-smoke docs staticcheck

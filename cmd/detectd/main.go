@@ -46,11 +46,27 @@
 // stamped partition must match -partition or the daemon refuses to
 // start.
 //
+// Two cluster-operations modes ride on the same binary. With
+// -rebalance K/K' the daemon runs as a one-shot coordinator instead
+// of a detector: it fences the running K-way group at a barrier,
+// collects the old workers' snapshots exactly at the cut, re-keys them
+// into K' partition snapshots, offers the new set, and commits — the
+// old daemons retire cleanly ("rebalanced ... retiring") and K' fresh
+// daemons started with -partition i/K' -handoff adopt the state and
+// resume from barrier+1, with no event judged twice and no feed pause
+// (see docs/ARCHITECTURE.md, "Live rebalance"). With -standby the
+// daemon parks as a warm standby for its -partition: it watches the
+// broker and, when the partition's worker dies, claims the key (of N
+// standbys exactly one wins), adopts the freshest broker snapshot, and
+// promotes itself — unattended failover with zero replay.
+//
 // Usage:
 //
 //	detectd -addr 127.0.0.1:7474 -shards 8 \
 //	        -checkpoint-dir /var/lib/detectd -checkpoint-every 10s
 //	detectd -addr 127.0.0.1:7474 -partition 2/4 -handoff
+//	detectd -addr 127.0.0.1:7474 -rebalance 4/2
+//	detectd -addr 127.0.0.1:7474 -partition 1/2 -handoff -standby
 package main
 
 import (
@@ -68,6 +84,7 @@ import (
 	"time"
 
 	"sybilwild/internal/checkpoint"
+	"sybilwild/internal/cluster"
 	"sybilwild/internal/detector"
 	"sybilwild/internal/osn"
 	"sybilwild/internal/stream"
@@ -83,9 +100,10 @@ type daemon struct {
 	part, parts int    // cluster partition (parts 0: whole feed)
 	handoff     bool   // offer snapshots to the broker for handoff
 
-	session string // stream session id ("" until first dial)
-	resume  uint64 // sequence to resume from (0: fresh subscription)
-	written uint64 // sequence covered by the newest durable checkpoint
+	session   string // stream session id ("" until first dial)
+	sessionID string // pre-claimed session id to dial with (standby promotion)
+	resume    uint64 // sequence to resume from (0: fresh subscription)
+	written   uint64 // sequence covered by the newest durable checkpoint
 
 	mu      sync.Mutex
 	current *stream.Client // connection to kick on shutdown
@@ -109,6 +127,45 @@ func parsePartition(s string) (part, parts int, err error) {
 	return part, parts, nil
 }
 
+// parseRebalanceSpec decodes a "K/K'" resize spec for -rebalance.
+func parseRebalanceSpec(s string) (from, to int, err error) {
+	if n, err := fmt.Sscanf(s, "%d/%d", &from, &to); n != 2 || err != nil {
+		return 0, 0, fmt.Errorf("-rebalance %q: want K/K', e.g. 3/5", s)
+	}
+	if from < 2 || to < 1 || from == to {
+		return 0, 0, fmt.Errorf("-rebalance %q: need K >= 2, K' >= 1, K != K'", s)
+	}
+	return from, to, nil
+}
+
+// watchAndClaim polls the broker until the partition qualifies for
+// promotion — seen before, nothing connected, a snapshot to adopt, and
+// no rebalance fence (a fence means a coordinator owns recovery) — for
+// a few consecutive polls, then claims it under a fresh session id.
+// A lost claim (another standby won) just resumes watching. Blocks
+// until the claim is won.
+func watchAndClaim(addr string, part, parts int) string {
+	const confirm = 3
+	streak := 0
+	for {
+		time.Sleep(50 * time.Millisecond)
+		st, err := stream.QueryPartition(addr, part, parts)
+		if err != nil || !(st.Seen && st.Connected == 0 && st.SnapshotSeq > 0 && st.Barrier == 0) {
+			streak = 0
+			continue
+		}
+		if streak++; streak < confirm {
+			continue
+		}
+		session := stream.NewSessionID()
+		if err := stream.ClaimPartition(addr, part, parts, session); err != nil {
+			streak = 0
+			continue
+		}
+		return session
+	}
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("detectd: ")
@@ -129,14 +186,33 @@ func main() {
 			"checkpoint early once this many events are applied past the last checkpoint; must stay below the feed's replay window unless the feed runs a disk spool, where 0 disables the trigger")
 		partition = flag.String("partition", "", "subscribe as partition i/K of a detection cluster (e.g. 0/4; empty: whole feed)")
 		handoff   = flag.Bool("handoff", false, "offer pipeline snapshots to the broker every -checkpoint-every and adopt the partition's freshest broker snapshot on a start with no local checkpoint (requires -partition)")
+		rebalance = flag.String("rebalance", "", "coordinate a live cluster rebalance K/K' (e.g. 3/5) against -addr and exit: fence the old group at a barrier, re-key its snapshots, commit — no daemon mode")
+		rebTime   = flag.Duration("rebalance-timeout", time.Minute, "how long -rebalance waits for the old workers' snapshots to rendezvous at the barrier")
+		standby   = flag.Bool("standby", false, "watch -partition instead of subscribing: promote automatically (claim the key, adopt the freshest broker snapshot, resume) when its worker dies; requires -partition and -handoff")
 	)
 	flag.Parse()
+	if *rebalance != "" {
+		from, to, err := parseRebalanceSpec(*rebalance)
+		if err != nil {
+			log.Fatal(err)
+		}
+		barrier, err := cluster.Rebalance(*addr, from, to, *rebTime)
+		if err != nil {
+			log.Fatalf("rebalance %d -> %d: %v", from, to, err)
+		}
+		fmt.Printf("rebalanced %d -> %d at barrier %d: old workers retired at %d, new workers adopt and resume from %d\n",
+			from, to, barrier, barrier, barrier+1)
+		return
+	}
 	part, parts, err := parsePartition(*partition)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *handoff && parts == 0 {
 		log.Fatal("-handoff requires -partition: snapshot handoff is keyed by cluster partition")
+	}
+	if *standby && !(parts > 0 && *handoff) {
+		log.Fatal("-standby requires -partition and -handoff: promotion adopts the dead worker's broker snapshot")
 	}
 	if *ckptDir != "" && *ckptMaxLag < 0 {
 		log.Fatal("-checkpoint-max-lag must not be negative")
@@ -196,6 +272,16 @@ func main() {
 			fmt.Printf("restored %s: %d accounts, %d flags, resuming feed at seq %d\n",
 				path, len(st.Snapshot.Accounts), len(st.Snapshot.Flags), from)
 		}
+	}
+	if *standby {
+		// Watch the partition until its worker dies, then claim the key
+		// so exactly one of N standbys promotes. The claim's session id
+		// is what the promoted subscription must dial with — the broker
+		// admits only it while the claim is fresh. Blocking: the daemon
+		// is a warm standby until the claim is won.
+		fmt.Printf("standby: watching partition %d/%d on %s\n", part, parts, *addr)
+		d.sessionID = watchAndClaim(*addr, part, parts)
+		fmt.Printf("standby: promoting as partition %d/%d\n", part, parts)
 	}
 	if d.p == nil && *handoff {
 		// No local checkpoint: adopt the partition's freshest broker
@@ -301,6 +387,12 @@ func (d *daemon) run(addr string, maxRetries int, every time.Duration, maxLag ui
 		if d.parts > 0 {
 			dialOpts = append(dialOpts, stream.WithPartition(d.part, d.parts))
 		}
+		if d.session == "" && d.sessionID != "" {
+			// Standby promotion: the first dial must present the claimed
+			// session id or the broker rejects it while the claim is
+			// fresh. Resumes reuse d.session as usual.
+			dialOpts = append(dialOpts, stream.WithSessionID(d.sessionID))
+		}
 		var c *stream.Client
 		var err error
 		switch {
@@ -395,6 +487,24 @@ func (d *daemon) run(addr string, maxRetries int, every time.Duration, maxLag ui
 		d.mu.Lock()
 		d.current = nil
 		d.mu.Unlock()
+		if errors.Is(err, stream.ErrRebalanced) {
+			// The cluster was resized out from under this shape: the
+			// broker served everything owed through the barrier and
+			// fenced the rest. Pin the pipeline to the barrier, offer the
+			// snapshot cut exactly there (the coordinator's rendezvous),
+			// and retire — a new-shape worker inherits the state.
+			barrier, nparts, _ := c.Rebalanced()
+			if barrier > d.p.Seq() {
+				d.p.Ingest(detector.Batch{LastSeq: barrier})
+			}
+			if d.store != nil || d.handoff {
+				d.writeCheckpoint(c)
+			}
+			c.Close()
+			fmt.Printf("partition group %d rebalanced to %d at barrier %d; retiring\n",
+				d.parts, nparts, barrier)
+			return nil
+		}
 		if errors.Is(err, stream.ErrClosed) {
 			// Clean end of feed: checkpoint and ack through the final
 			// sequence while the connection can still carry the ack, so

@@ -134,6 +134,13 @@ func main() {
 		fmt.Printf("snapshot %d/%d: seq=%d bytes=%d held for handoff\n",
 			sn.Part, sn.Parts, sn.Seq, sn.Bytes)
 	}
+	for _, rb := range st.Rebalances {
+		state := "prepared"
+		if rb.Committed {
+			state = "committed"
+		}
+		fmt.Printf("rebalance %d -> %d: barrier=%d %s\n", rb.From, rb.To, rb.Barrier, state)
+	}
 	srv.Close() // blocks until every subscriber drained (or the drain timeout cut it off)
 	st = srv.Stats()
 	fmt.Printf("sent=%d delivered=%d encodes=%d sessions_evicted=%d\n", st.Broadcast, st.Delivered, st.Encodes, st.Evicted)

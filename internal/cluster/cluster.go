@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"sybilwild/internal/detector"
+	"sybilwild/internal/osn"
 	"sybilwild/internal/stream"
 )
 
@@ -53,6 +54,19 @@ type Config struct {
 	// position — before subscribing. Without it (or when no snapshot
 	// is offered) the worker cold-starts from sequence 1.
 	Handoff bool
+
+	// SessionID fixes the worker's subscriber session id. A promoted
+	// standby must dial with the id it claimed the partition for
+	// (stream.ClaimPartition), or the broker refuses it the key.
+	// Empty: a random id.
+	SessionID string
+
+	// Audit records the global sequence of every owned-actor event the
+	// worker applies (after replay trimming), for cutover audits: the
+	// union of the cluster's audits must cover each sequence exactly
+	// once across generations. Costs memory linear in owned events —
+	// tests and verification runs only.
+	Audit bool
 }
 
 // Worker is one partition's detector: a partitioned feed subscription
@@ -69,6 +83,14 @@ type Worker struct {
 
 	offered      atomic.Uint64 // highest sequence successfully offered
 	firstApplied atomic.Uint64 // lowest global sequence ingested (0: none yet)
+
+	// Live-rebalance retirement; set by the loop before done closes,
+	// read after Wait.
+	rebalanced bool
+	rebBarrier uint64
+	rebNew     int
+
+	ownedSeqs []uint64 // Audit: applied owned-actor sequences, in order
 
 	err       error // terminal loop error; read after done closes
 	done      chan struct{}
@@ -117,7 +139,11 @@ func Start(cfg Config) (*Worker, error) {
 		w.p = detector.NewPipeline(cfg.Rule, nil, opts...)
 	}
 	w.resumedFrom = resume
-	c, err := stream.DialFrom(cfg.Addr, resume, stream.WithPartition(cfg.Part, cfg.Parts))
+	dialOpts := []stream.DialOption{stream.WithPartition(cfg.Part, cfg.Parts)}
+	if cfg.SessionID != "" {
+		dialOpts = append(dialOpts, stream.WithSessionID(cfg.SessionID))
+	}
+	c, err := stream.DialFrom(cfg.Addr, resume, dialOpts...)
 	if err != nil {
 		w.p.Close()
 		return nil, err
@@ -137,6 +163,21 @@ func (w *Worker) loop() {
 	batches := 0
 	for {
 		evs, err := w.c.RecvBatch()
+		if errors.Is(err, stream.ErrRebalanced) {
+			// The broker retired this worker's group shape in a live
+			// rebalance. Everything owed below the barrier has been
+			// applied; pin the pipeline's cursor to the barrier (the
+			// tail may have been all foreign) and offer the snapshot
+			// the coordinator is waiting for. Retirement is a clean
+			// exit, not an error.
+			barrier, nparts, _ := w.c.Rebalanced()
+			if barrier > w.p.Seq() {
+				w.p.Ingest(detector.Batch{LastSeq: barrier})
+			}
+			w.offer()
+			w.rebalanced, w.rebBarrier, w.rebNew = true, barrier, nparts
+			return
+		}
 		if err != nil {
 			if !errors.Is(err, stream.ErrClosed) {
 				w.err = err
@@ -166,6 +207,19 @@ func (w *Worker) loop() {
 				first = seqs[0]
 			}
 			w.firstApplied.Store(first)
+		}
+		if w.cfg.Audit {
+			first := last - uint64(len(evs)) + 1
+			for i, ev := range evs {
+				if osn.Partition(ev.Actor, w.cfg.Parts) != w.cfg.Part {
+					continue
+				}
+				if seqs != nil {
+					w.ownedSeqs = append(w.ownedSeqs, seqs[i])
+				} else {
+					w.ownedSeqs = append(w.ownedSeqs, first+uint64(i))
+				}
+			}
 		}
 		w.p.Ingest(detector.Batch{Events: evs, LastSeq: last})
 		batches++
@@ -228,3 +282,16 @@ func (w *Worker) OfferedSeq() uint64 { return w.offered.Load() }
 // must exceed HandoffSeq — the zero-replay property: no event at or
 // below the snapshot's cut is ever re-applied.
 func (w *Worker) FirstApplied() uint64 { return w.firstApplied.Load() }
+
+// Rebalanced reports whether the worker was retired by a live
+// rebalance, and if so the cutover barrier (its pipeline's final
+// sequence) and the new partition group size. Valid after Wait.
+func (w *Worker) Rebalanced() (barrier uint64, nparts int, ok bool) {
+	return w.rebBarrier, w.rebNew, w.rebalanced
+}
+
+// OwnedSeqs returns the global sequences of every owned-actor event
+// this worker applied, in feed order — the per-event owner audit a
+// cutover verification sums across workers and generations. Requires
+// Config.Audit; valid after Wait.
+func (w *Worker) OwnedSeqs() []uint64 { return w.ownedSeqs }

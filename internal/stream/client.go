@@ -24,6 +24,15 @@ var ErrClosed = errors.New("stream: feed closed")
 // loud: consumers must rebuild state rather than continue silently.
 var ErrGap = errors.New("stream: resume window lost")
 
+// ErrRebalanced is returned by Recv/RecvBatch when the broker retires
+// the subscription's partition group shape in a live rebalance: the
+// client has been handed everything it is owed up to the cutover
+// barrier (LastSeq() == barrier once this is returned) and will never
+// receive another event on this subscription. The consumer should
+// snapshot its state at the barrier and offer it for the new owners;
+// Rebalanced() reports the barrier and the new group size.
+var ErrRebalanced = errors.New("stream: partition group rebalanced")
+
 // newSessionID returns a fresh random subscriber session id.
 func newSessionID() string {
 	var b [8]byte
@@ -32,6 +41,12 @@ func newSessionID() string {
 	}
 	return hex.EncodeToString(b[:])
 }
+
+// NewSessionID returns a fresh random subscriber session id, for
+// callers that must fix the id before dialing — a standby claims a
+// partition for a session id (ClaimPartition) and then dials with
+// WithSessionID so admission can match the claim.
+func NewSessionID() string { return newSessionID() }
 
 // Client subscribes to a Server's event feed. A Client is not safe
 // for concurrent use.
@@ -59,13 +74,20 @@ type Client struct {
 	buf         []byte      // reusable frame buffer
 	eof         bool
 
+	// Live-rebalance hand-off (terminal, like eof): set when the
+	// server retires this subscription's group shape.
+	rebalanced bool
+	rebBarrier uint64 // cutover barrier; lastSeq is advanced to it
+	rebNew     int    // new partition group size
+
 	manualAck bool // acks driven by Ack() instead of delivery
 }
 
 // dialConfig collects DialOption settings.
 type dialConfig struct {
-	part  int
-	parts int
+	part    int
+	parts   int
+	session string
 }
 
 // DialOption configures Dial, DialFrom and DialResume.
@@ -86,6 +108,15 @@ func WithPartition(part, parts int) DialOption {
 			c.part, c.parts = 0, 0
 		}
 	}
+}
+
+// WithSessionID fixes the session id for Dial and DialFrom instead of
+// generating a random one. A standby that claimed a partition
+// (ClaimPartition) must dial with the claimed id, or admission will
+// refuse it the key. With DialResume — which already names its session
+// — the option takes precedence; don't mix the two.
+func WithSessionID(id string) DialOption {
+	return func(c *dialConfig) { c.session = id }
 }
 
 // Dial connects to a stream server as a fresh subscriber: it receives
@@ -139,6 +170,9 @@ func dial(addr, session string, resume uint64, opts []DialOption) (*Client, erro
 	}
 	if cfg.parts > 0 && (cfg.part < 0 || cfg.part >= cfg.parts) {
 		return nil, fmt.Errorf("stream: invalid partition %d/%d", cfg.part, cfg.parts)
+	}
+	if cfg.session != "" {
+		session = cfg.session
 	}
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
@@ -255,6 +289,9 @@ func (c *Client) fill() error {
 	if c.eof {
 		return ErrClosed
 	}
+	if c.rebalanced {
+		return ErrRebalanced
+	}
 	c.flushAcks() // the server trims its window while we wait
 	for {
 		payload, err := readFrame(c.br, c.buf)
@@ -278,6 +315,19 @@ func (c *Client) fill() error {
 				case frameEOF:
 					c.eof = true
 					return ErrClosed
+				case frameRebal:
+					// Terminal hand-off: everything owed below the barrier
+					// has been delivered, so the cursor snaps to it — the
+					// events between lastSeq and the barrier were all
+					// foreign.
+					c.rebalanced = true
+					c.rebBarrier = f.Barrier
+					c.rebNew = f.NParts
+					if f.Barrier > c.lastSeq {
+						c.lastSeq = f.Barrier
+					}
+					c.flushAcks()
+					return ErrRebalanced
 				case frameBatch:
 					seq, evs, err = parseBatchSlow(payload, c.evbuf[:0])
 					if err != nil {
@@ -408,6 +458,14 @@ func (c *Client) LastBatchSeqs() []uint64 { return c.batchSeqs }
 // parts == 0 means the full feed.
 func (c *Client) Partition() (part, parts int) { return c.part, c.parts }
 
+// Rebalanced reports the live-rebalance hand-off, valid once
+// Recv/RecvBatch has returned ErrRebalanced: the cutover barrier (the
+// last sequence this subscription's state may cover) and the new
+// partition group size.
+func (c *Client) Rebalanced() (barrier uint64, nparts int, ok bool) {
+	return c.rebBarrier, c.rebNew, c.rebalanced
+}
+
 // Close acknowledges everything delivered (unless in manual-ack mode)
 // and disconnects. The session remains resumable on the server until
 // its linger expires.
@@ -502,6 +560,11 @@ func subscribe(addr string, maxRetries int, opts []DialOption, drain func(*Clien
 		c.Close()
 		if errors.Is(err, ErrClosed) {
 			return nil // clean end of feed
+		}
+		if errors.Is(err, ErrRebalanced) {
+			// Terminal: the partition group was retired; resuming would
+			// only replay the hand-off.
+			return err
 		}
 		// Connection lost mid-stream: resume from the next sequence.
 	}

@@ -1,0 +1,284 @@
+// Rebalance sub-protocol: broker-coordinated live cutover of a
+// partition group from K to K' workers without stopping the feed.
+//
+// The broker is the only place a consistent cut exists — its sequencer
+// assigns the global order — so the coordinator (detectd -rebalance)
+// asks it to PREPARE: pick the barrier B = current head sequence and
+// fence every subscriber of the old group shape. A fenced session is
+// served everything it is owed up to and including B, then receives a
+// terminal rebal frame instead of more events; its feed cursor can
+// never pass B. The old workers react by snapshotting at exactly B and
+// offering the snapshot to the broker's rendezvous store. The
+// coordinator fetches all K snapshots, re-keys them into K'
+// (detector.RebalanceSnapshots), offers the new set, and COMMITs. New
+// workers restore and subscribe from B+1; the fence on the old shape
+// stays forever (stragglers of a dead shape must not judge events the
+// new owners already own), while the commit lifts any stale fence on
+// the *new* shape so its subscribers can join.
+//
+// Two auxiliary exchanges support unattended standbys: rstatus/rinfo
+// reports a partition key's liveness (connected sessions, whether the
+// key was ever subscribed, the freshest held snapshot, any fence), and
+// rclaim reserves a key for one session id so two standbys racing to
+// replace a dead worker cannot both win — admission consumes the claim
+// when the named session connects and rejects other sessions while the
+// claim is fresh.
+//
+// All four exchanges ride one short-lived connection each on the
+// regular listen port, selected by the first frame's type, exactly
+// like the snapshot sub-protocol.
+
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// PartitionStatus is the broker's view of one partition key,
+// returned by QueryPartition. A standby promotes when the key has been
+// seen (a worker once served it), nothing is connected now, a snapshot
+// is available to adopt, and no fence is pending (a fence means a
+// coordinated rebalance is mid-flight — the coordinator, not the
+// standby, owns the recovery).
+type PartitionStatus struct {
+	Connected   int    // sessions currently connected on this key
+	Seen        bool   // a subscriber ever served this key on this broker
+	SnapshotSeq uint64 // stamp of the freshest held snapshot; 0 = none
+	Barrier     uint64 // fence barrier on this group shape; 0 = not fenced
+}
+
+// connectedOnLocked counts sessions currently connected for partition
+// part of parts (parts == 1 matches full-feed sessions, which admit
+// normalizes to 0/0). Caller holds s.mu.
+func (s *Server) connectedOnLocked(part, parts int) int {
+	if parts == 1 {
+		part, parts = 0, 0
+	}
+	s.smu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.smu.Unlock()
+	n := 0
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		if sess.part == part && sess.parts == parts && sess.conn != nil && !sess.gone {
+			n++
+		}
+		sess.mu.Unlock()
+	}
+	return n
+}
+
+// serveRebPrepare installs a fence on an old group shape and replies
+// with the chosen barrier. Idempotent: re-preparing the same K→K'
+// returns the already-chosen barrier, so a coordinator can retry
+// across a dropped connection; a conflicting K→K” is rejected until
+// the first rebalance's fence is superseded.
+func (s *Server) serveRebPrepare(conn net.Conn, hello frame) {
+	defer conn.Close()
+	if hello.Parts < 2 || hello.NParts < 1 || hello.Parts == hello.NParts {
+		writeControl(conn, frame{T: frameRebOK, Err: "invalid rebalance shape"})
+		return
+	}
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		writeControl(conn, frame{T: frameRebOK, Err: "server closing"})
+		return
+	}
+	if f := s.fences[hello.Parts]; f != nil {
+		barrier, nparts := f.barrier, f.nparts
+		s.mu.Unlock()
+		if nparts != hello.NParts {
+			writeControl(conn, frame{T: frameRebOK,
+				Err: fmt.Sprintf("partition group %d already rebalancing to %d", hello.Parts, nparts)})
+			return
+		}
+		writeControl(conn, frame{T: frameRebOK, Parts: hello.Parts, NParts: hello.NParts, Barrier: barrier})
+		return
+	}
+	f := &fence{from: hello.Parts, nparts: hello.NParts, barrier: s.seq}
+	s.fences[hello.Parts] = f
+	s.rebLog = append(s.rebLog, f)
+	// Fence every session of the old shape. All their queued chunks end
+	// at or below the barrier (it is the head sequence, and new chunks
+	// are clamped by appendChunk), so clamping the feed cursor is
+	// enough; the broadcast wakes writers parked waiting for feed
+	// progress that will never come.
+	s.smu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.smu.Unlock()
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		if sess.parts == hello.Parts && sess.fencedAt == 0 {
+			sess.fencedAt, sess.fenceNew = f.barrier, f.nparts
+			if sess.feedSeq > f.barrier {
+				sess.feedSeq = f.barrier
+			}
+			sess.cond.Broadcast()
+		}
+		sess.mu.Unlock()
+	}
+	barrier := f.barrier
+	s.mu.Unlock()
+	writeControl(conn, frame{T: frameRebOK, Parts: hello.Parts, NParts: hello.NParts, Barrier: barrier})
+}
+
+// serveRebCommit marks a prepared rebalance committed. The old shape's
+// fence stays (its sessions are retired for good); the commit lifts
+// any stale fence keyed by the *new* shape, so a chained rebalance
+// back to a previously-retired group size can admit subscribers again.
+func (s *Server) serveRebCommit(conn net.Conn, hello frame) {
+	defer conn.Close()
+	s.mu.Lock()
+	f := s.fences[hello.Parts]
+	switch {
+	case f == nil:
+		s.mu.Unlock()
+		writeControl(conn, frame{T: frameRebOK,
+			Err: fmt.Sprintf("no rebalance prepared for partition group %d", hello.Parts)})
+		return
+	case f.nparts != hello.NParts || f.barrier != hello.Barrier:
+		have, at := f.nparts, f.barrier
+		s.mu.Unlock()
+		writeControl(conn, frame{T: frameRebOK,
+			Err: fmt.Sprintf("commit names %d@%d, prepared rebalance is %d@%d", hello.NParts, hello.Barrier, have, at)})
+		return
+	}
+	f.committed = true
+	delete(s.fences, hello.NParts)
+	s.mu.Unlock()
+	writeControl(conn, frame{T: frameRebOK, Parts: hello.Parts, NParts: hello.NParts, Barrier: hello.Barrier})
+}
+
+// serveRebStatus reports a partition key's liveness for standby
+// promotion decisions.
+func (s *Server) serveRebStatus(conn net.Conn, hello frame) {
+	defer conn.Close()
+	if hello.Parts < 1 || hello.Part < 0 || hello.Part >= hello.Parts {
+		writeControl(conn, frame{T: frameRebInfo, Err: "invalid partition"})
+		return
+	}
+	s.mu.Lock()
+	connected := s.connectedOnLocked(hello.Part, hello.Parts)
+	seen := s.everSeen[partKey{part: hello.Part, parts: hello.Parts}]
+	var barrier uint64
+	if f := s.fences[hello.Parts]; f != nil {
+		barrier = f.barrier
+	}
+	s.mu.Unlock()
+	var snapSeq uint64
+	s.snapMu.Lock()
+	if v, ok := s.snaps[snapKey{part: hello.Part, parts: hello.Parts}]; ok {
+		snapSeq = v.seq
+	}
+	s.snapMu.Unlock()
+	writeControl(conn, frame{T: frameRebInfo, Part: hello.Part, Parts: hello.Parts,
+		Connected: connected, Seen: seen, Seq: snapSeq, Barrier: barrier})
+}
+
+// serveRebClaim reserves a partition key for one session id. Granted
+// only while nothing is connected on the key and no other fresh claim
+// holds it; a granted claim expires after the session linger if the
+// claimant never connects.
+func (s *Server) serveRebClaim(conn net.Conn, hello frame) {
+	defer conn.Close()
+	if hello.Parts < 1 || hello.Part < 0 || hello.Part >= hello.Parts || hello.Session == "" {
+		writeControl(conn, frame{T: frameRebOK, Err: "invalid claim"})
+		return
+	}
+	key := partKey{part: hello.Part, parts: hello.Parts}
+	s.mu.Lock()
+	if n := s.connectedOnLocked(hello.Part, hello.Parts); n > 0 {
+		s.mu.Unlock()
+		writeControl(conn, frame{T: frameRebOK,
+			Err: fmt.Sprintf("partition %d/%d has %d connected session(s)", hello.Part, hello.Parts, n)})
+		return
+	}
+	if c, ok := s.claims[key]; ok && c.session != hello.Session && time.Since(c.at) < s.opt.linger {
+		s.mu.Unlock()
+		writeControl(conn, frame{T: frameRebOK, Err: "partition already claimed"})
+		return
+	}
+	s.claims[key] = claim{session: hello.Session, at: time.Now()}
+	s.mu.Unlock()
+	writeControl(conn, frame{T: frameRebOK, Part: hello.Part, Parts: hello.Parts})
+}
+
+// rebExchange runs one request/reply control exchange on a short-lived
+// connection and returns the reply frame.
+func rebExchange(addr string, req frame, wantT string) (frame, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return frame{}, fmt.Errorf("stream: rebalance dial: %w", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	if err := writeControl(conn, req); err != nil {
+		return frame{}, fmt.Errorf("stream: rebalance %s: %w", req.T, err)
+	}
+	payload, err := readFrame(bufio.NewReader(conn), nil)
+	if err != nil {
+		return frame{}, fmt.Errorf("stream: rebalance %s: %w", req.T, err)
+	}
+	var f frame
+	if err := json.Unmarshal(payload, &f); err != nil || f.T != wantT {
+		return frame{}, fmt.Errorf("stream: rebalance %s: unexpected reply %q", req.T, payload)
+	}
+	if f.Err != "" {
+		return frame{}, fmt.Errorf("stream: rebalance %s rejected: %s", req.T, f.Err)
+	}
+	return f, nil
+}
+
+// PrepareRebalance asks the broker to fence partition group `from` for
+// a cutover to `to` workers and returns the barrier it chose: old
+// owners drain to the barrier and snapshot there; new owners subscribe
+// from barrier+1. Idempotent per (from, to) — a retry returns the same
+// barrier.
+func PrepareRebalance(addr string, from, to int) (uint64, error) {
+	f, err := rebExchange(addr,
+		frame{T: frameRebPrep, V: ProtocolVersion, Parts: from, NParts: to}, frameRebOK)
+	if err != nil {
+		return 0, err
+	}
+	return f.Barrier, nil
+}
+
+// CommitRebalance finalizes a prepared from→to rebalance at the
+// barrier PrepareRebalance returned, unfencing the new group shape.
+func CommitRebalance(addr string, from, to int, barrier uint64) error {
+	_, err := rebExchange(addr,
+		frame{T: frameRebCommit, V: ProtocolVersion, Parts: from, NParts: to, Barrier: barrier}, frameRebOK)
+	return err
+}
+
+// QueryPartition reports the broker's view of one partition key; see
+// PartitionStatus for the standby promotion reading of it.
+func QueryPartition(addr string, part, parts int) (PartitionStatus, error) {
+	f, err := rebExchange(addr,
+		frame{T: frameRebStatus, V: ProtocolVersion, Part: part, Parts: parts}, frameRebInfo)
+	if err != nil {
+		return PartitionStatus{}, err
+	}
+	return PartitionStatus{Connected: f.Connected, Seen: f.Seen, SnapshotSeq: f.Seq, Barrier: f.Barrier}, nil
+}
+
+// ClaimPartition reserves partition part of parts for the given
+// session id, so that exactly one standby wins a dead worker's slot.
+// The claimant must then dial with WithSessionID(session); other
+// sessions are refused the key while the claim is fresh.
+func ClaimPartition(addr string, part, parts int, session string) error {
+	_, err := rebExchange(addr,
+		frame{T: frameRebClaim, V: ProtocolVersion, Part: part, Parts: parts, Session: session}, frameRebOK)
+	return err
+}

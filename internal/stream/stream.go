@@ -224,6 +224,22 @@ type Server struct {
 	delivered atomic.Uint64
 	evicted   atomic.Uint64
 
+	// Live-rebalance coordination (rebalance sub-protocol; see
+	// rebalance.go), guarded by mu — fences are installed under the
+	// sequencer lock so the barrier is exact and admission checks see
+	// them atomically. fences holds the active admission fence per OLD
+	// group size (an entry outlives its commit: a stale worker of a
+	// retired shape must never be re-admitted past the barrier);
+	// rebLog is the append-only audit of every rebalance prepared on
+	// this server. claims maps a partition key to the session id a
+	// standby reserved it for; everSeen records keys that ever
+	// admitted a subscriber (so a standby can tell "worker died" from
+	// "worker never started").
+	fences   map[int]*fence
+	rebLog   []*fence
+	claims   map[partKey]claim
+	everSeen map[partKey]bool
+
 	// Snapshot rendezvous: latest offered detector snapshot per
 	// partition key (snapshot sub-protocol; see snapshot.go).
 	snapMu sync.Mutex
@@ -259,6 +275,22 @@ type chunk struct {
 
 // partKey identifies one shared partition filter.
 type partKey struct{ part, parts int }
+
+// fence is one live rebalance: partition group `from` is cut at
+// `barrier` in favour of a group of `nparts`. Guarded by Server.mu.
+type fence struct {
+	from      int
+	nparts    int
+	barrier   uint64
+	committed bool
+}
+
+// claim reserves a partition key for a standby's promotion session.
+// Guarded by Server.mu; expires after the session linger.
+type claim struct {
+	session string
+	at      time.Time
+}
 
 // session is one subscriber's server-side state: a bounded window of
 // shared frame chunks awaiting acknowledgement, cursors over the feed,
@@ -322,6 +354,15 @@ type session struct {
 	catchup bool   // writer streams from the spool instead of the queue
 	feedSeq uint64 // highest sequence fan-out has shown this session
 
+	// Rebalance fence (sticky once set): this session receives nothing
+	// past fencedAt; once everything at or below it is framed, the
+	// writer emits a rebal announcement naming fenceNew and ends the
+	// subscription. Set under sess.mu, either by the prepare walking
+	// live sessions or by admit for sessions (re)joining a fenced
+	// group.
+	fencedAt uint64
+	fenceNew int
+
 	conn       net.Conn // nil while detached
 	gen        int      // connection generation; stale writers exit on mismatch
 	detachedAt time.Time
@@ -369,6 +410,9 @@ type ServerStats struct {
 	// Snapshots lists the detector snapshots currently held for
 	// handoff, sorted by (parts, part).
 	Snapshots []SnapshotStats
+	// Rebalances is the append-only audit of every rebalance prepared
+	// on this broker, in preparation order.
+	Rebalances []RebalanceStats
 }
 
 // SessionStats is one subscriber session's flow-control view.
@@ -383,6 +427,16 @@ type SessionStats struct {
 	Buffered  int     // replay-window fill: events held awaiting ack
 	Window    int     // replay-window capacity
 	Fill      float64 // Buffered/Window; at 1.0 this session stalls a spool-less Broadcast
+}
+
+// RebalanceStats describes one rebalance the broker coordinated:
+// the old group shape, the new one, the sequence barrier the cutover
+// fenced at, and whether the coordinator committed it.
+type RebalanceStats struct {
+	From      int    // old partition group size
+	To        int    // new partition group size
+	Barrier   uint64 // common cut sequence: old owners end at it, new owners start after it
+	Committed bool
 }
 
 // SnapshotStats describes one held snapshot in the broker's
@@ -417,6 +471,9 @@ func NewServer(addr string, opts ...ServerOption) (*Server, error) {
 		opt:        o,
 		sessions:   make(map[string]*session),
 		producers:  make(map[string]*producerState),
+		fences:     make(map[int]*fence),
+		claims:     make(map[partKey]claim),
+		everSeen:   make(map[partKey]bool),
 		ingestDone: make(chan struct{}),
 	}
 	if o.spool != nil {
@@ -679,6 +736,18 @@ func (sess *session) appendChunk(c *chunk, cursor uint64) bool {
 	sess.mu.Lock()
 	if cursor > sess.feedSeq {
 		sess.feedSeq = cursor
+	}
+	if f := sess.fencedAt; f > 0 {
+		// Fenced session: nothing past the barrier is ever queued or
+		// covered. The barrier falls on a batch boundary (both are
+		// assigned under the sequencer lock) and a chunk never spans
+		// batches, so a chunk is pre- or post-barrier wholesale.
+		if sess.feedSeq > f {
+			sess.feedSeq = f
+		}
+		if c != nil && c.first > f {
+			c = nil
+		}
 	}
 	if c == nil || c.last <= sess.base {
 		// Foreign run: only the subscriber's cursor moves. The writer
@@ -989,6 +1058,18 @@ func (s *Server) serveConn(conn net.Conn) {
 	case frameSnapFetch:
 		s.serveSnapFetch(conn, hello)
 		return
+	case frameRebPrep:
+		s.serveRebPrepare(conn, hello)
+		return
+	case frameRebCommit:
+		s.serveRebCommit(conn, hello)
+		return
+	case frameRebStatus:
+		s.serveRebStatus(conn, hello)
+		return
+	case frameRebClaim:
+		s.serveRebClaim(conn, hello)
+		return
 	}
 	if hello.T != frameHello || hello.Session == "" {
 		writeControl(conn, frame{T: frameWelcome, V: ProtocolVersion, Err: "malformed hello"})
@@ -1047,6 +1128,32 @@ func (s *Server) admit(hello frame, conn net.Conn) (sess *session, gen int, from
 	if s.closing {
 		return nil, 0, 0, "server closing"
 	}
+	var fencedAt uint64
+	var fenceNew int
+	if hello.Parts >= 2 {
+		key := partKey{part: hello.Part, parts: hello.Parts}
+		if f := s.fences[hello.Parts]; f != nil {
+			// The group shape was rebalanced away. A fresh join would
+			// double-judge post-barrier events against the new owners;
+			// a resume may only drain what it is owed below the
+			// barrier, then gets the rebal hand-off like everyone else.
+			if hello.Resume == 0 || hello.Resume > f.barrier+1 {
+				return nil, 0, 0, fmt.Sprintf("partition group %d rebalanced to %d at barrier %d", f.from, f.nparts, f.barrier)
+			}
+			fencedAt, fenceNew = f.barrier, f.nparts
+		}
+		if c, ok := s.claims[key]; ok {
+			switch {
+			case hello.Session == c.session:
+				delete(s.claims, key) // claim consumed by its holder
+			case time.Since(c.at) < s.opt.linger:
+				return nil, 0, 0, "partition claimed by another session"
+			default:
+				delete(s.claims, key) // claimant never showed; let go
+			}
+		}
+		s.everSeen[key] = true
+	}
 	s.smu.Lock()
 	sess = s.sessions[hello.Session]
 	s.smu.Unlock()
@@ -1081,6 +1188,12 @@ func (s *Server) admit(hello frame, conn net.Conn) (sess *session, gen int, from
 		// subscriber joins an empty feed.
 		sess = s.newSessionLocked(hello.Session, s.seq, false, hello.Part, hello.Parts)
 		sess.mu.Lock()
+		if fencedAt > 0 {
+			sess.fencedAt, sess.fenceNew = fencedAt, fenceNew
+			if sess.feedSeq > fencedAt {
+				sess.feedSeq = fencedAt
+			}
+		}
 		gen = sess.attachLocked(conn)
 		sess.mu.Unlock()
 		return sess, gen, r, ""
@@ -1165,6 +1278,14 @@ func (s *Server) admit(hello frame, conn net.Conn) (sess *session, gen int, from
 	// Disk tier: catch up from segment files, then flip live.
 	catchup := r <= s.seq
 	sess = s.newSessionLocked(hello.Session, r-1, catchup, hello.Part, hello.Parts)
+	if fencedAt > 0 {
+		sess.mu.Lock()
+		sess.fencedAt, sess.fenceNew = fencedAt, fenceNew
+		if sess.feedSeq > fencedAt {
+			sess.feedSeq = fencedAt
+		}
+		sess.mu.Unlock()
+	}
 	if catchup {
 		// Retention re-check under smu, now that the session's ack
 		// position is visible to the floor scan: a prune that raced
@@ -1403,7 +1524,8 @@ func (s *Server) writeLivePart(sess *session, conn net.Conn, bw *bufio.Writer, g
 	for {
 		sess.mu.Lock()
 		for sess.gen == gen && !sess.closing && !sess.catchup &&
-			sess.sentChunks == len(sess.chunks) && sess.feedSeq-sess.sent < adv {
+			sess.sentChunks == len(sess.chunks) && sess.feedSeq-sess.sent < adv &&
+			!(sess.fencedAt > 0 && sess.feedSeq >= sess.fencedAt) {
 			sess.cond.Wait()
 		}
 		if sess.gen != gen {
@@ -1417,6 +1539,31 @@ func (s *Server) writeLivePart(sess *session, conn net.Conn, bw *bufio.Writer, g
 				return false
 			}
 			return true
+		}
+		if f := sess.fencedAt; f > 0 && sess.sentChunks == len(sess.chunks) && sess.feedSeq >= f {
+			// Fenced and fully drained: the fence clamps feedSeq to the
+			// barrier, and the cursor only reaches it once every
+			// pre-barrier batch has fanned out to this session, so
+			// everything the old owner is entitled to has been framed.
+			// Bring the cursor exactly to the barrier, announce the
+			// cutover, and end the subscription (the drain deadline
+			// bounds the ack reader like the eof path).
+			advance := f > sess.sent
+			nparts := sess.fenceNew
+			sess.sent = f
+			sess.mu.Unlock()
+			if advance {
+				payload = appendFBatchFrame(payload[:0], f, nil, nil)
+				if writeFrame(bw, payload) != nil {
+					s.detach(sess, gen)
+					return false
+				}
+			}
+			payload = wire.AppendRebal(payload[:0], wire.Rebal{Barrier: f, Parts: sess.parts, NParts: nparts})
+			writeFrame(bw, payload)
+			bw.Flush()
+			conn.SetReadDeadline(time.Now().Add(s.opt.drain))
+			return false
 		}
 		if sess.sentChunks == len(sess.chunks) {
 			last := sess.feedSeq
@@ -1574,13 +1721,40 @@ func (s *Server) writeCatchup(sess *session, conn net.Conn, bw *bufio.Writer, ge
 		acc, accN = acc[:0], 0
 		return werr
 	}
+	// finishFence ends a fenced session's catch-up once the disk read
+	// has covered everything at or below the barrier: cursor advance to
+	// the barrier (if the tail was foreign), the rebal announcement,
+	// and a read deadline so the ack reader terminates. Only
+	// partitioned sessions are ever fenced, so acc is always empty
+	// here.
+	finishFence := func(f uint64, fnew int) bool {
+		sess.mu.Lock()
+		sess.sent = f
+		sess.mu.Unlock()
+		if told < f {
+			payload = appendFBatchFrame(payload[:0], f, nil, nil)
+			if writeFrame(bw, payload) != nil {
+				s.detach(sess, gen)
+				return false
+			}
+		}
+		payload = wire.AppendRebal(payload[:0], wire.Rebal{Barrier: f, Parts: sess.parts, NParts: fnew})
+		writeFrame(bw, payload)
+		bw.Flush()
+		conn.SetReadDeadline(time.Now().Add(s.opt.drain))
+		return false
+	}
 	for {
 		sess.mu.Lock()
 		if sess.gen != gen || sess.gone {
 			sess.mu.Unlock()
 			return false
 		}
+		fenced, fenceNew, cur := sess.fencedAt, sess.fenceNew, sess.sent
 		sess.mu.Unlock()
+		if fenced > 0 && cur >= fenced {
+			return finishFence(fenced, fenceNew)
+		}
 
 		var first, end uint64
 		var rerr error
@@ -1591,6 +1765,26 @@ func (s *Server) writeCatchup(sess *session, conn net.Conn, bw *bufio.Writer, ge
 			first, evs, rerr = rd.Next(scratch[:0], s.opt.maxBatch)
 			if rerr == nil {
 				end = first + uint64(len(evs)) - 1
+				// Re-read the fence: it may have been installed while
+				// Next was reading, and post-barrier spool appends are
+				// sequenced after the install — so whenever the run
+				// carries events past a fresh barrier, this re-read is
+				// guaranteed to observe it (the top-of-loop read can be
+				// one iteration stale).
+				sess.mu.Lock()
+				fenced, fenceNew = sess.fencedAt, sess.fenceNew
+				sess.mu.Unlock()
+				if fenced > 0 && end > fenced {
+					// The spool run crosses the barrier (disk reads may
+					// coalesce frames): deliver only the pre-barrier
+					// prefix; the next loop iteration emits the rebal.
+					if first > fenced {
+						evs = evs[:0]
+					} else {
+						evs = evs[:fenced-first+1]
+					}
+					end = fenced
+				}
 				scratch = evs[:0]
 				// Filter the run down to the partition's slice; the
 				// frame's cursor still covers the whole run. A fully
@@ -1662,14 +1856,22 @@ func (s *Server) writeCatchup(sess *session, conn net.Conn, bw *bufio.Writer, ge
 				return false
 			}
 			// More was broadcast while we flushed; wait for the spool
-			// to show it (feedSeq advances after the spool append).
-			for sess.gen == gen && !sess.closing && !sess.gone && sess.feedSeq <= sess.sent {
+			// to show it (feedSeq advances after the spool append). A
+			// fenced session's feedSeq is clamped at the barrier, so
+			// once sent reaches it nothing more ever arrives — fall
+			// through to the rebal instead of waiting forever.
+			for sess.gen == gen && !sess.closing && !sess.gone && sess.feedSeq <= sess.sent &&
+				!(sess.fencedAt > 0 && sess.sent >= sess.fencedAt) {
 				sess.cond.Wait()
 			}
 			stale := sess.gen != gen || sess.gone
+			f, fnew, cur := sess.fencedAt, sess.fenceNew, sess.sent
 			sess.mu.Unlock()
 			if stale {
 				return false
+			}
+			if f > 0 && cur >= f {
+				return finishFence(f, fnew)
 			}
 			continue
 		case rerr != nil:
@@ -1775,6 +1977,10 @@ func filterPartition(evs []osn.Event, first uint64, part, parts int, keep []osn.
 func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
 	seq := s.seq
+	reb := make([]RebalanceStats, 0, len(s.rebLog))
+	for _, f := range s.rebLog {
+		reb = append(reb, RebalanceStats{From: f.from, To: f.nparts, Barrier: f.barrier, Committed: f.committed})
+	}
 	prod := make([]ProducerStats, 0, len(s.producers))
 	for _, p := range s.producers {
 		prod = append(prod, ProducerStats{
@@ -1842,6 +2048,7 @@ func (s *Server) Stats() ServerStats {
 		s.spoolErrMu.Unlock()
 	}
 	st.Snapshots = s.snapshotStats()
+	st.Rebalances = reb
 	return st
 }
 

@@ -56,6 +56,30 @@ import (
 // key; offers at or above the held sequence replace it, stale offers
 // are acknowledged and dropped.
 //
+// The rebalance sub-protocol (live K→K' cutover; one short-lived
+// connection per control exchange, same port). A prepare fences the
+// old group at a barrier — the broker's current head sequence — and
+// every fenced subscriber receives, in-stream after its last event at
+// or below the barrier, a rebal announcement instead of more feed:
+//
+//	coordinator → broker   rprepare {"t":"rprepare","v":2,"parts":K,"nparts":N}
+//	broker → coordinator   rok      {"t":"rok","barrier":B}  /  {"t":"rok","err":"..."}
+//	coordinator → broker   rcommit  {"t":"rcommit","v":2,"parts":K,"nparts":N,"barrier":B}
+//	broker → subscriber    rebal    {"t":"rebal","barrier":B,"parts":K,"nparts":N}   (in-stream)
+//
+//	standby → broker       rstatus  {"t":"rstatus","v":2,"part":I,"parts":K}
+//	broker → standby       rinfo    {"t":"rinfo","connected":C,"seen":true,"seq":S,"barrier":B}
+//	standby → broker       rclaim   {"t":"rclaim","v":2,"part":I,"parts":K,"session":ID}
+//	broker → standby       rok      {"t":"rok"}  /  {"t":"rok","err":"..."}
+//
+// rinfo reports the partition key's health: connected subscriber
+// count, whether any subscriber was ever admitted on the key, the
+// sequence of the freshest held snapshot, and the group's fence
+// barrier (0 while unfenced). A granted rclaim reserves the partition
+// for the named session id — other sessions are refused admission on
+// the key until the claim is consumed or its linger expires — which
+// is how exactly one standby wins a promotion race.
+//
 // The publish side (producer → broker, over the same listen port; the
 // first frame's type selects the role):
 //
@@ -108,6 +132,18 @@ const (
 	frameSnapFetch = "sfetch"
 	frameSnapOK    = "sok"
 	frameSnap      = "snap"
+
+	// Rebalance sub-protocol (live K→K' cutover; see rebalance.go).
+	// rebal is the in-stream cutover announcement sent to fenced
+	// partition subscribers; the rest are control frames on their own
+	// short-lived connections.
+	frameRebal     = "rebal"
+	frameRebPrep   = "rprepare"
+	frameRebCommit = "rcommit"
+	frameRebOK     = "rok"
+	frameRebStatus = "rstatus"
+	frameRebInfo   = "rinfo"
+	frameRebClaim  = "rclaim"
 )
 
 // snapNone is the well-known error a snapshot fetch gets when the
@@ -142,6 +178,12 @@ type frame struct {
 	Epoch     uint64 `json:"epoch,omitempty"`     // producer epoch (phello request / pwelcome grant)
 	Bseq      uint64 `json:"bseq,omitempty"`      // per-producer batch sequence (pbatch/pack/pwelcome)
 	Count     uint64 `json:"count,omitempty"`     // events durably sequenced from this producer (pwelcome)
+
+	// Rebalance sub-protocol fields.
+	Barrier   uint64 `json:"barrier,omitempty"`   // cutover barrier sequence (rprepare reply, rcommit, rebal, rinfo)
+	NParts    int    `json:"nparts,omitempty"`    // new partition group size (rprepare, rcommit, rebal)
+	Connected int    `json:"connected,omitempty"` // connected sessions on the partition key (rinfo)
+	Seen      bool   `json:"seen,omitempty"`      // a worker was ever admitted on the key (rinfo)
 }
 
 // WireEvent is the JSON wire form of an osn.Event.

@@ -180,6 +180,41 @@ func FuzzSnapHeader(f *testing.F) {
 	})
 }
 
+func FuzzRebal(f *testing.F) {
+	f.Add([]byte(`{"t":"rebal","barrier":0,"parts":2,"nparts":1}`))
+	f.Add(AppendRebal(nil, Rebal{Barrier: 12345, Parts: 3, NParts: 5}))
+	f.Add([]byte(`{"t":"rebal","barrier":7,"parts":4,"nparts":4}`))
+	f.Add([]byte(`{"t":"rebal","barrier":7,"parts":1,"nparts":2}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if r, ok := ParseRebal(data); ok {
+			if r.Parts < 2 || r.NParts < 1 || r.Parts == r.NParts {
+				t.Fatalf("parser accepted out-of-contract rebal %+v from %q", r, data)
+			}
+			enc := AppendRebal(nil, r)
+			r2, ok2 := ParseRebal(enc)
+			if !ok2 || r2 != r {
+				t.Fatalf("accepted rebal not idempotent: %q -> %q", data, enc)
+			}
+		}
+		// Generator round trip over normalized-valid announcements.
+		if len(data) >= 10 {
+			r := Rebal{
+				Barrier: binary.LittleEndian.Uint64(data[2:10]),
+				Parts:   2 + int(data[0]%64),
+			}
+			r.NParts = 1 + int(data[1])%128
+			if r.NParts == r.Parts {
+				r.NParts++
+			}
+			enc := AppendRebal(nil, r)
+			r2, ok := ParseRebal(enc)
+			if !ok || r2 != r {
+				t.Fatalf("rebal round trip: %+v on wire as %q gave %+v", r, enc, r2)
+			}
+		}
+	})
+}
+
 func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add(AppendFrame(nil, []byte(`{"t":"batch","seq":1,"events":[]}`)))

@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRebalRoundTrip(t *testing.T) {
+	cases := []Rebal{
+		{Barrier: 0, Parts: 2, NParts: 1},
+		{Barrier: 1, Parts: 3, NParts: 5},
+		{Barrier: 1<<63 + 7, Parts: 4, NParts: 2},
+	}
+	for _, r := range cases {
+		enc := AppendRebal(nil, r)
+		got, ok := ParseRebal(enc)
+		if !ok || got != r {
+			t.Fatalf("round trip %+v: wire %q gave %+v ok=%v", r, enc, got, ok)
+		}
+	}
+}
+
+// The canonical encoding must stay plain JSON: generic decoders (the
+// stream client's control-frame fallback) read the same fields.
+func TestRebalIsPlainJSON(t *testing.T) {
+	enc := AppendRebal(nil, Rebal{Barrier: 42, Parts: 3, NParts: 5})
+	var f struct {
+		T       string `json:"t"`
+		Barrier uint64 `json:"barrier"`
+		Parts   int    `json:"parts"`
+		NParts  int    `json:"nparts"`
+	}
+	if err := json.Unmarshal(enc, &f); err != nil {
+		t.Fatalf("canonical rebal is not valid JSON: %v (%q)", err, enc)
+	}
+	if f.T != "rebal" || f.Barrier != 42 || f.Parts != 3 || f.NParts != 5 {
+		t.Fatalf("JSON view mismatch: %+v from %q", f, enc)
+	}
+}
+
+func TestRebalRejects(t *testing.T) {
+	bad := []string{
+		``,
+		`{"t":"rebal"}`,
+		`{"t":"rebal","barrier":1,"parts":2,"nparts":1}x`,  // trailing bytes
+		`{"t":"rebal","barrier":1,"parts":1,"nparts":2}`,   // parts < 2: nothing to fence
+		`{"t":"rebal","barrier":1,"parts":3,"nparts":0}`,   // empty new group
+		`{"t":"rebal","barrier":1,"parts":4,"nparts":4}`,   // not a cutover
+		`{"t":"rebal","barrier":-1,"parts":2,"nparts":3}`,  // negative barrier
+		`{"t":"rebal","parts":2,"nparts":3,"barrier":1}`,   // non-canonical field order
+		`{"t":"fbatch","barrier":1,"parts":2,"nparts":3}`,  // wrong type tag
+		`{"t":"rebal","barrier":1,"parts":2.0,"nparts":3}`, // non-integer
+	}
+	for _, s := range bad {
+		if r, ok := ParseRebal([]byte(s)); ok {
+			t.Fatalf("accepted %q as %+v", s, r)
+		}
+	}
+}
