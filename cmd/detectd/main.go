@@ -60,6 +60,13 @@
 // standbys exactly one wins), adopts the freshest broker snapshot, and
 // promotes itself — unattended failover with zero replay.
 //
+// -addr accepts any broker in a relay tree (streamd -relay): edge
+// brokers serve the identical feed — same global sequences, same
+// frames byte-for-byte — plus partitioned subscriptions and the
+// snapshot rendezvous, so large clusters spread their workers across
+// edges instead of crowding the root (see docs/ARCHITECTURE.md,
+// "Relay tier").
+//
 // Usage:
 //
 //	detectd -addr 127.0.0.1:7474 -shards 8 \

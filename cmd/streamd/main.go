@@ -27,13 +27,26 @@
 // over the wire (see docs/ARCHITECTURE.md, "Partitioned cluster").
 // Held snapshots are reported in the end-of-feed audit.
 //
+// With -relay the broker becomes an interior node of a relay tree
+// instead of a producer-facing root: it subscribes to the upstream
+// broker as a resumable session and adopts its frames verbatim —
+// upstream global sequences preserved, canonical bytes spooled and
+// fanned out with zero re-encodes — while serving downstream
+// subscribers (plain, partitioned, snapshot rendezvous) exactly like
+// a root. A relay prints a per-hop audit line at each stats interval
+// and exits when the upstream feed ends, after draining its own
+// subscribers (eof propagates down the tree). Producers cannot
+// publish to a relay: sequence adoption and local sequencing don't
+// mix.
+//
 // Usage:
 //
 //	streamd -addr 127.0.0.1:7474 -spool-dir /var/lib/streamd/spool
 //	renrend -publish 127.0.0.1:7474 -producers 3 -producer-index 0 &
 //	renrend -publish 127.0.0.1:7474 -producers 3 -producer-index 1 &
 //	renrend -publish 127.0.0.1:7474 -producers 3 -producer-index 2 &
-//	detectd -addr 127.0.0.1:7474
+//	streamd -addr 127.0.0.1:7475 -relay 127.0.0.1:7474 -spool-dir /var/lib/streamd/edge &
+//	detectd -addr 127.0.0.1:7475
 package main
 
 import (
@@ -51,6 +64,7 @@ func main() {
 	log.SetPrefix("streamd: ")
 	var (
 		addr   = flag.String("addr", "127.0.0.1:7474", "listen address (producers and subscribers)")
+		relay  = flag.String("relay", "", "upstream broker address: run as an interior relay hop adopting that feed instead of admitting producers")
 		wait   = flag.Duration("wait", 5*time.Minute, "max wait for the first producer to register")
 		linger = flag.Duration("linger", 0, "keep serving subscribers this long after the last producer closes, so late consumers can still backfill the spooled campaign (detectd -from-start) before the broker drains and exits")
 		window = flag.Int("window", stream.DefaultReplayBuffer, "per-subscriber in-memory replay window in events; with a spool, tiny windows stay safe (overflow falls back to disk)")
@@ -80,6 +94,11 @@ func main() {
 			fmt.Printf("spool %s: resuming log at seq %d (%d segments, %d bytes retained from seq %d)\n",
 				*spoolDir, st.End+1, st.Segments, st.Bytes, st.First)
 		}
+	}
+
+	if *relay != "" {
+		runRelay(*addr, *relay, opts, sp, *statsEvery)
+		return
 	}
 
 	srv, err := stream.NewServer(*addr, opts...)
@@ -152,6 +171,57 @@ func main() {
 		}
 		fmt.Println(line)
 	}
+}
+
+// runRelay is the -relay mode: an interior hop adopting the upstream
+// feed, narrated with per-hop audit lines until eof propagates through.
+func runRelay(addr, upstream string, opts []stream.ServerOption, sp *spool.Spool, statsEvery time.Duration) {
+	rly, err := stream.NewRelay(addr, upstream, stream.WithRelayServer(opts...))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("relay on %s adopting feed from %s\n", rly.Addr(), upstream)
+
+	done := make(chan error, 1)
+	go func() { done <- rly.Wait() }()
+	tick := time.NewTicker(statsInterval(statsEvery))
+	defer tick.Stop()
+	var ferr error
+	for running := true; running; {
+		select {
+		case ferr = <-done:
+			running = false
+		case <-tick.C:
+			if statsEvery > 0 {
+				printHop(rly)
+			}
+		}
+	}
+	rly.Close() // idempotent after Wait: makes sure the downstream drain ran
+	printHop(rly)
+	st := rly.Server().Stats()
+	fmt.Printf("adopted=%d delivered=%d encodes=%d sessions_evicted=%d\n",
+		st.Adopted, st.Delivered, st.Encodes, st.Evicted)
+	if sp != nil {
+		sst := sp.Stats()
+		line := fmt.Sprintf("spool: %d segments, %d bytes, seqs %d-%d retained", sst.Segments, sst.Bytes, sst.First, sst.End)
+		if st.SpoolErr != "" {
+			line += " (DISK TIER FAILED: " + st.SpoolErr + ")"
+		}
+		fmt.Println(line)
+	}
+	if ferr != nil {
+		log.Fatalf("relay feed ended abnormally: %v", ferr)
+	}
+	fmt.Println("upstream feed complete; eof propagated to every subscriber")
+}
+
+// printHop is the per-hop audit line: where this broker sits in the
+// tree and how much feed has crossed the hop.
+func printHop(rly *stream.Relay) {
+	rs, st := rly.Stats(), rly.Server().Stats()
+	fmt.Printf("hop=%d seq=%d frames=%d events=%d reconnects=%d subscribers=%d encodes=%d\n",
+		rs.Hop, rs.Seq, rs.Frames, rs.Events, rs.Reconnects, st.Sessions, st.Encodes)
 }
 
 func statsInterval(d time.Duration) time.Duration {

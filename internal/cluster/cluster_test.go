@@ -185,6 +185,163 @@ func TestPartitionedClusterFlagEquality(t *testing.T) {
 	}
 }
 
+// waitAdopted blocks until a relay edge's broker has adopted the feed
+// through seq.
+func waitAdopted(t *testing.T, e *stream.Relay, seq uint64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for e.Server().HeadSeq() < seq {
+		if time.Now().After(deadline) {
+			t.Fatalf("edge head stuck at %d, want %d", e.Server().HeadSeq(), seq)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestRelayTreeFlagEquality is the relay tier's acceptance test: a
+// K=4 worker cluster subscribed through a 2-level tree (root broker,
+// two spooled edge relays, two workers each) must flag exactly the
+// accounts a single direct pipeline flags — with one edge broker
+// killed -9 mid-campaign and replaced on the same spool directory.
+// The replacement edge resumes the upstream subscription from its
+// spool's end; its workers find the crash emptied the edge's snapshot
+// rendezvous and fall back to a cold start served from the edge spool
+// — the deterministic-replay path — and the tree reconverges with no
+// gaps and no duplicate flags.
+func TestRelayTreeFlagEquality(t *testing.T) {
+	events, rule := campaignFeed()
+
+	single := detector.NewPipeline(rule, nil, detector.WithGraphReconstruction())
+	single.Ingest(detector.Batch{Events: events})
+	single.Close()
+	want := flagSet(single.FlaggedIDs())
+	if len(want) == 0 {
+		t.Fatal("single pipeline flagged nothing; equivalence test is vacuous")
+	}
+
+	const k = 4
+	root := clusterServer(t)
+	newEdge := func(dir string) (*stream.Relay, *spool.Spool) {
+		t.Helper()
+		sp, err := spool.Open(dir, spool.WithSegmentBytes(1<<20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := stream.NewRelay("127.0.0.1:0", root.Addr(),
+			stream.WithRelayServer(stream.WithReplayBuffer(4096), stream.WithSpool(sp)))
+		if err != nil {
+			sp.Close()
+			t.Fatal(err)
+		}
+		return e, sp
+	}
+	edgeA, spA := newEdge(t.TempDir())
+	defer func() { edgeA.Close(); spA.Close() }()
+	dirB := t.TempDir()
+	edgeB, spB := newEdge(dirB)
+
+	start := func(part int, addr string) *cluster.Worker {
+		t.Helper()
+		w, err := cluster.Start(cluster.Config{
+			Addr: addr, Part: part, Parts: k,
+			Rule: rule, Shards: 2, CheckEvery: 1,
+			SnapshotEvery: 4, Handoff: true,
+		})
+		if err != nil {
+			t.Fatalf("start worker %d/%d on %s: %v", part, k, addr, err)
+		}
+		return w
+	}
+	workers := make([]*cluster.Worker, k)
+	for part := 0; part < k; part++ {
+		addr := edgeA.Addr()
+		if part >= k/2 {
+			addr = edgeB.Addr()
+		}
+		workers[part] = start(part, addr)
+	}
+
+	// First leg of the campaign; both edges adopt it fully before the
+	// kill, so the crash loses only in-memory state (sessions, snapshot
+	// rendezvous), exactly like kill -9 of a streamd -relay process.
+	cut := 2 * len(events) / 5
+	for _, ev := range events[:cut] {
+		root.Broadcast(ev)
+	}
+	waitAdopted(t, edgeB, uint64(cut))
+
+	edgeB.Abort()
+	if err := spB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for part := k / 2; part < k; part++ {
+		if err := workers[part].Wait(); err == nil {
+			t.Fatalf("worker %d survived its edge's kill -9 with a clean end of feed", part)
+		}
+	}
+
+	// Replacement edge on the same spool directory, new address: it
+	// resumes upstream from the spool's end and serves its own backlog
+	// to the replacement workers, which cold-start from sequence 1 —
+	// the broker-held snapshots died with the edge.
+	edgeB2, spB2 := newEdge(dirB)
+	defer func() { edgeB2.Close(); spB2.Close() }()
+	for part := k / 2; part < k; part++ {
+		w := start(part, edgeB2.Addr())
+		if w.HandoffSeq() != 0 {
+			t.Fatalf("worker %d adopted a snapshot (seq %d) that should have died with the edge",
+				part, w.HandoffSeq())
+		}
+		workers[part] = w
+	}
+
+	// Rest of the campaign, clean shutdown down the tree, union check.
+	for _, ev := range events[cut:] {
+		root.Broadcast(ev)
+	}
+	if err := root.Close(); err != nil {
+		t.Fatalf("root close: %v", err)
+	}
+	if err := edgeA.Wait(); err != nil {
+		t.Fatalf("edge A did not propagate eof cleanly: %v", err)
+	}
+	if err := edgeB2.Wait(); err != nil {
+		t.Fatalf("replacement edge did not propagate eof cleanly: %v", err)
+	}
+	union := make(map[osn.AccountID]int)
+	for part, w := range workers {
+		if err := w.Wait(); err != nil {
+			t.Fatalf("worker %d/%d: %v", part, k, err)
+		}
+		if got := w.Pipeline().Seq(); got != uint64(len(events)) {
+			t.Fatalf("worker %d/%d stopped at seq %d, feed ended at %d",
+				part, k, got, len(events))
+		}
+		for _, id := range w.Pipeline().FlaggedIDs() {
+			if osn.Partition(id, k) != part {
+				t.Fatalf("worker %d/%d flagged account %d owned by partition %d",
+					part, k, id, osn.Partition(id, k))
+			}
+			union[id]++
+		}
+	}
+	for id, n := range union {
+		if n != 1 {
+			t.Fatalf("account %d flagged by %d workers", id, n)
+		}
+		if !want[id] {
+			t.Fatalf("tree cluster flagged %d, single run did not", id)
+		}
+	}
+	if len(union) != len(want) {
+		t.Fatalf("tree cluster flagged %d accounts, single run flagged %d",
+			len(union), len(want))
+	}
+	if adopted := edgeA.Server().Stats().Adopted; adopted != uint64(len(events)) {
+		t.Fatalf("edge A adopted %d events, feed carried %d", adopted, len(events))
+	}
+}
+
 // TestWorkerInvalidPartition: the harness rejects partitions the
 // broker would reject, before dialing anything.
 func TestWorkerInvalidPartition(t *testing.T) {

@@ -246,7 +246,7 @@ func (s *Server) ingest(p *producerState, conn net.Conn, epoch, bseq uint64, evs
 	s.mu.Unlock()
 
 	if len(evs) > 0 {
-		s.fanout(first, evs, s.encodeChunks(first, evs))
+		s.fanout(first, len(evs), func() []osn.Event { return evs }, s.encodeChunks(first, evs))
 	}
 	return bseq, nil
 }

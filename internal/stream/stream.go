@@ -89,6 +89,14 @@ type serverOptions struct {
 	stall      time.Duration
 	drain      time.Duration
 	spool      *spool.Spool
+	adopting   bool
+}
+
+// withAdopting marks the server as a sequence-adopting relay hop:
+// its sequencer is seated by the upstream feed (AdoptFrame), so wire
+// producers are rejected — adoption and local sequencing don't mix.
+func withAdopting() ServerOption {
+	return func(o *serverOptions) { o.adopting = true }
 }
 
 // ServerOption configures NewServer.
@@ -224,6 +232,14 @@ type Server struct {
 	delivered atomic.Uint64
 	evicted   atomic.Uint64
 
+	// Relay tier: adopted counts events ingested in sequence-adopting
+	// mode (AdoptFrame — upstream frames re-served without an encode);
+	// hop is this broker's depth in a relay tree (0 = root), learned
+	// from the upstream welcome by the owning Relay and echoed in every
+	// welcome this server sends.
+	adopted atomic.Uint64
+	hop     atomic.Int32
+
 	// Live-rebalance coordination (rebalance sub-protocol; see
 	// rebalance.go), guarded by mu — fences are installed under the
 	// sequencer lock so the barrier is exact and admission checks see
@@ -316,6 +332,11 @@ type session struct {
 	part  int
 	parts int
 
+	// relay marks a subscriber that identified itself as an interior
+	// relay hop (hello "relay":true) — audit only, delivery is
+	// identical. Sticky across resumes; guarded by mu.
+	relay bool
+
 	window int // replay-window capacity in events (immutable)
 
 	mu   sync.Mutex
@@ -390,6 +411,14 @@ type ServerStats struct {
 	// session); catch-up suffix trims and partitioned disk catch-up
 	// add to it.
 	Encodes uint64
+	// Adopted counts events ingested in sequence-adopting mode
+	// (AdoptFrame): upstream-sequenced frames re-served as shared bytes
+	// with no local encode. On an interior relay hop Broadcast ==
+	// Adopted and Encodes stays 0 (barring mid-frame resume suffixes).
+	Adopted uint64
+	// Hop is this broker's depth in a relay tree: 0 for a root broker
+	// (local sequencer), n for a relay n hops below the root.
+	Hop int
 	// PerSession breaks lag down by subscriber, sorted worst-lagging
 	// first, so an operator can see which consumer is holding the feed
 	// back before the stall timeout evicts it.
@@ -420,6 +449,7 @@ type SessionStats struct {
 	ID        string  // client-chosen session id
 	Connected bool    // false while lingering for resume
 	CatchUp   bool    // serving from the disk spool, not the live ring
+	Relay     bool    // subscriber identified itself as a relay hop
 	Part      int     // partition index (meaningful when Parts > 0)
 	Parts     int     // partition group size; 0 = full feed
 	Acked     uint64  // highest sequence the client has acknowledged
@@ -493,6 +523,15 @@ func NewServer(addr string, opts ...ServerOption) (*Server, error) {
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// HeadSeq returns the highest global sequence assigned on this feed —
+// a relay resumes its upstream subscription from HeadSeq()+1, which
+// after a restart is the spool's adopted end.
+func (s *Server) HeadSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -542,7 +581,7 @@ func (s *Server) BroadcastBatch(evs []osn.Event) {
 	first := s.seq + 1
 	s.seq += uint64(len(evs))
 	s.mu.Unlock()
-	s.fanout(first, evs, s.encodeChunks(first, evs))
+	s.fanout(first, len(evs), func() []osn.Event { return evs }, s.encodeChunks(first, evs))
 }
 
 // Conservative per-frame size bounds, used to pre-size chunk payload
@@ -584,14 +623,121 @@ func (s *Server) encodeChunks(first uint64, evs []osn.Event) []*chunk {
 	return chunks
 }
 
+// ErrAdoptGap is returned by AdoptFrame when a frame starts past the
+// local head + 1: sequence adoption preserves the upstream's numbering
+// verbatim, so a gap can only mean frames were lost between hops — the
+// relay must reconnect and resume rather than paper over it.
+var ErrAdoptGap = errors.New("stream: adopted frame out of sequence")
+
+// AdoptFrame ingests one canonical batch frame in sequence-adopting
+// mode: the frame keeps the global sequences its upstream broker
+// assigned instead of passing through the local sequencer, and its
+// payload — already canonical bytes — becomes the shared chunk that
+// the spool and every subscriber queue reference. An interior relay
+// hop therefore costs zero encodes (the Encodes counter does not move)
+// and zero event-level copies; events are decoded from the payload
+// only if a partitioned subscriber needs a filtered view, and even
+// then only once per frame. The payload is retained by reference — the
+// caller must hand over ownership and never reuse its backing array.
+//
+// Frames must arrive in feed order. A frame entirely at or below the
+// head is a reconnect resend and is dropped whole (nil error); one
+// straddling the head — a resume that landed mid-frame upstream — has
+// its suffix re-encoded locally, the single counted encode on the
+// adoption path; one starting past head+1 returns ErrAdoptGap with the
+// head untouched. Safe for concurrent use with subscriber traffic, but
+// a server has exactly one adopter (its relay's upstream loop) and
+// adoption must not be mixed with Broadcast or publish ingest: both
+// assign local sequences, which is precisely what adoption forgoes.
+func (s *Server) AdoptFrame(payload []byte) error {
+	first, n, ok := wire.ParseBatchBounds(payload)
+	if !ok {
+		return errors.New("stream: adopt: not a canonical batch frame")
+	}
+	if n == 0 {
+		return nil
+	}
+	last := first + uint64(n) - 1
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return errors.New("stream: adopt: server closing")
+	}
+	head := s.seq
+	s.mu.Unlock()
+	switch {
+	case last <= head:
+		return nil // stale resend: everything here is already adopted
+	case first > head+1:
+		return fmt.Errorf("%w: head %d, frame starts at %d", ErrAdoptGap, head, first)
+	case first <= head:
+		// Straddling resend: re-encode the surviving suffix before
+		// touching the sequencer, so a corrupt frame can never leave a
+		// hole in the fan-out ticket order. This is the one encode
+		// adoption pays, at most once per upstream reconnect.
+		var ok bool
+		payload, _, ok = wire.SuffixBatch(nil, payload, head+1, nil)
+		if !ok {
+			return fmt.Errorf("stream: adopt: corrupt batch frame at seq %d", first)
+		}
+		s.encodes.Add(1)
+		first = head + 1
+		n = int(last - head)
+	}
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return errors.New("stream: adopt: server closing")
+	}
+	if s.seq != first-1 {
+		// The head moved between the check and the claim: a second
+		// adopter or an interleaved Broadcast — both contract
+		// violations. Refuse loudly instead of corrupting the order.
+		cur := s.seq
+		s.mu.Unlock()
+		return fmt.Errorf("stream: adopt: concurrent sequencing (head moved %d → %d)", head, cur)
+	}
+	s.seq = last
+	s.mu.Unlock()
+	s.adopted.Add(uint64(n))
+
+	c := &chunk{first: first, last: last, n: n, cursor: last, payload: payload}
+	var evs []osn.Event
+	s.fanout(first, n, func() []osn.Event {
+		if evs == nil {
+			var ok bool
+			if _, evs, ok = wire.ParseBatch(c.payload, nil); !ok {
+				var err error
+				if _, evs, err = parseBatchSlow(c.payload, nil); err != nil {
+					// Bounds parsed but the body didn't — only a
+					// non-canonical upstream encoder gets here. The raw
+					// frame already reached full-feed subscribers
+					// verbatim; partitioned views degrade to a pure
+					// cursor advance rather than crashing the hop.
+					log.Printf("stream: adopt: undecodable batch at seq %d: %v", c.first, err)
+					evs = make([]osn.Event, c.n)
+				}
+			}
+		}
+		return evs
+	}, []*chunk{c})
+	return nil
+}
+
 // fanout delivers one sequenced batch: spool append (the same shared
 // bytes), then one queue append per session per chunk. Batches pass
 // through strictly in sequence order — each waits for its ticket —
 // which is what keeps the spool contiguous and every session's queue
-// in feed order while concurrent producers encode in parallel. evs
-// must remain valid until fanout returns (partition filters are built
-// lazily from it, once per (part, parts) and shared across sessions).
-func (s *Server) fanout(first uint64, evs []osn.Event, chunks []*chunk) {
+// in feed order while concurrent producers encode in parallel. n is
+// the batch's event count; events provides the decoded batch and is
+// only called when a partitioned session needs a filtered view — an
+// encode-side caller returns the slice it already holds, a relay
+// adopting pre-encoded frames decodes on demand, so a hop with no
+// partitioned subscribers never decodes at all. The slice events
+// returns must remain valid until fanout returns (partition filters
+// are built lazily from it, once per (part, parts) and shared across
+// sessions).
+func (s *Server) fanout(first uint64, n int, events func() []osn.Event, chunks []*chunk) {
 	s.fanMu.Lock()
 	for s.fanNext != first {
 		s.fanCond.Wait()
@@ -629,6 +775,7 @@ func (s *Server) fanout(first uint64, evs []osn.Event, chunks []*chunk) {
 	s.smu.Unlock()
 
 	var fcache map[partKey][]*chunk
+	var evs []osn.Event
 	for _, sess := range sessions {
 		if sess.parts == 0 {
 			for _, c := range chunks {
@@ -641,6 +788,9 @@ func (s *Server) fanout(first uint64, evs []osn.Event, chunks []*chunk) {
 		key := partKey{sess.part, sess.parts}
 		fchunks, ok := fcache[key]
 		if !ok {
+			if evs == nil {
+				evs = events() // first partitioned session pays the (single) decode
+			}
 			fchunks = s.filterChunks(chunks, evs, first, sess.part, sess.parts)
 			if fcache == nil {
 				fcache = make(map[partKey][]*chunk)
@@ -655,7 +805,7 @@ func (s *Server) fanout(first uint64, evs []osn.Event, chunks []*chunk) {
 	}
 
 	s.fanMu.Lock()
-	s.fanNext = first + uint64(len(evs))
+	s.fanNext = first + uint64(n)
 	s.fanCond.Broadcast()
 	s.fanMu.Unlock()
 }
@@ -884,6 +1034,10 @@ func (sess *session) evictLocked() {
 	}
 	sess.gen++
 	sess.cond.Broadcast()
+	select {
+	case sess.space <- struct{}{}: // unblock a producer stalled on this window
+	default:
+	}
 }
 
 // ackTo processes a client acknowledgement: advance the delivered
@@ -1049,7 +1203,14 @@ func (s *Server) serveConn(conn net.Conn) {
 	switch hello.T {
 	case framePHello:
 		// The connection is a wire producer, not a subscriber: hand it
-		// to the ingest path (publish.go).
+		// to the ingest path (publish.go). A relay hop's sequencer is
+		// seated by the upstream feed, so it admits no producers.
+		if s.opt.adopting {
+			writeControl(conn, frame{T: framePWelcome, V: ProtocolVersion,
+				Err: "broker is a relay hop: publish to the root broker"})
+			conn.Close()
+			return
+		}
 		s.servePublisher(conn, br, hello, payload)
 		return
 	case frameSnapOffer:
@@ -1083,7 +1244,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	if err := writeControl(conn, frame{T: frameWelcome, V: ProtocolVersion, From: from}); err != nil {
+	if hello.Relay {
+		sess.mu.Lock()
+		sess.relay = true
+		sess.mu.Unlock()
+	}
+	if err := writeControl(conn, frame{T: frameWelcome, V: ProtocolVersion, From: from,
+		Hop: int(s.hop.Load())}); err != nil {
 		s.detach(sess, gen)
 		return
 	}
@@ -1430,14 +1597,15 @@ func (s *Server) writeLive(sess *session, conn net.Conn, bw *bufio.Writer, gen i
 		if from > out[0].first {
 			// Resume rewound into this chunk: re-encode the suffix so
 			// the first frame starts exactly at the resume point.
-			seq, evs, ok := wire.ParseBatch(out[0].payload, scratch[:0])
-			if !ok || from-seq > uint64(len(evs)) {
+			var evs []osn.Event
+			var ok bool
+			payload, evs, ok = wire.SuffixBatch(payload[:0], out[0].payload, from, scratch[:0])
+			if !ok {
 				log.Printf("stream: session %s: corrupt shared chunk at seq %d", sess.id, out[0].first)
 				s.detach(sess, gen)
 				return false
 			}
 			scratch = evs[:0]
-			payload = wire.AppendBatch(payload[:0], from, evs[from-seq:])
 			s.encodes.Add(1)
 			if err := writeFrame(bw, payload); err != nil {
 				s.detach(sess, gen)
@@ -1902,14 +2070,15 @@ func (s *Server) writeCatchup(sess *session, conn net.Conn, bw *bufio.Writer, ge
 			// ReadFrom landed mid-frame: re-encode the suffix so the
 			// first frame starts exactly at the resume point. Happens
 			// at most once per resume.
-			seq, evs, ok := wire.ParseBatch(raw, scratch[:0])
-			if !ok || next-seq > uint64(len(evs)) {
+			var evs []osn.Event
+			var ok bool
+			payload, evs, ok = wire.SuffixBatch(payload[:0], raw, next, scratch[:0])
+			if !ok {
 				log.Printf("stream: session %s: corrupt spool frame at seq %d", sess.id, first)
 				s.evict(sess)
 				return false
 			}
 			scratch = evs[:0]
-			payload = wire.AppendBatch(payload[:0], next, evs[next-seq:])
 			s.encodes.Add(1)
 			if werr := writeFrame(bw, payload); werr != nil {
 				s.detach(sess, gen)
@@ -2007,6 +2176,7 @@ func (s *Server) Stats() ServerStats {
 			ID:        sess.id,
 			Connected: sess.conn != nil,
 			CatchUp:   sess.catchup,
+			Relay:     sess.relay,
 			Part:      sess.part,
 			Parts:     sess.parts,
 			Acked:     sess.acked,
@@ -2033,6 +2203,8 @@ func (s *Server) Stats() ServerStats {
 		Broadcast:   seq,
 		Delivered:   s.delivered.Load(),
 		Encodes:     s.encodes.Load(),
+		Adopted:     s.adopted.Load(),
+		Hop:         int(s.hop.Load()),
 		Sessions:    len(per),
 		Evicted:     s.evicted.Load(),
 		PerSession:  per,
@@ -2148,4 +2320,43 @@ func (s *Server) Close() error {
 		sess.mu.Unlock()
 	}
 	return err
+}
+
+// Abort is the test double for kill -9: it severs the listener and
+// every connection without draining windows or sending eof, and leaves
+// the spool exactly as a crash would — last appended frame durable,
+// nothing flushed on the way out. Subscribers see a dead TCP peer, not
+// a protocol goodbye, which is precisely what resume and relay
+// reconnect logic must survive. Safe to call concurrently with
+// Broadcast/AdoptFrame; in-flight fan-outs are unblocked by the
+// evictions rather than waited for.
+func (s *Server) Abort() {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closing = true
+	s.ln.Close()
+	for _, p := range s.producers {
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn = nil
+		}
+	}
+	s.mu.Unlock()
+
+	s.smu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.smu.Unlock()
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		sess.evictLocked()
+		sess.mu.Unlock()
+	}
+	s.wg.Wait()
 }

@@ -99,7 +99,7 @@ func TestBatchParserFallsBack(t *testing.T) {
 	}
 }
 
-func waitClients(t *testing.T, s *Server, n int) {
+func waitClients(t testing.TB, s *Server, n int) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for s.NumClients() < n {

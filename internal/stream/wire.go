@@ -30,6 +30,16 @@ import (
 // starting at the frame's "seq"; acks name the highest sequence the
 // client has delivered to its application.
 //
+// A relay hop (streamd -relay; see relay.go) subscribes with the same
+// hello, flagged "relay":true so the upstream broker's audit can tell
+// an interior hop from a leaf consumer. Every welcome carries "hop",
+// the answering broker's depth in the relay tree (0 = the root broker,
+// omitted from the JSON; a relay serves hop = upstream's hop + 1), so
+// each hop learns its depth from its upstream at handshake time:
+//
+//	relay → broker    hello   {"t":"hello","v":2,"session":S,"resume":R,"relay":true}
+//	broker → relay    welcome {"t":"welcome","v":2,"from":F,"hop":H}
+//
 // A partitioned subscriber (hello carries "part" and "parts") receives
 // filtered batches instead — its slice of the feed is sparse in the
 // global order, so each event carries its own sequence and the frame
@@ -184,6 +194,10 @@ type frame struct {
 	NParts    int    `json:"nparts,omitempty"`    // new partition group size (rprepare, rcommit, rebal)
 	Connected int    `json:"connected,omitempty"` // connected sessions on the partition key (rinfo)
 	Seen      bool   `json:"seen,omitempty"`      // a worker was ever admitted on the key (rinfo)
+
+	// Relay-tier handshake fields (relay.go).
+	Relay bool `json:"relay,omitempty"` // hello: this subscriber is an interior relay hop
+	Hop   int  `json:"hop,omitempty"`   // welcome: answering broker's tree depth (0 = root)
 }
 
 // WireEvent is the JSON wire form of an osn.Event.

@@ -326,6 +326,24 @@ func BatchEventsSection(payload []byte) ([]byte, bool) {
 	return payload[c.i : len(payload)-2], true
 }
 
+// SuffixBatch re-encodes the tail of a canonical batch payload so the
+// result starts exactly at sequence from: the payload is decoded (into
+// scratch, which callers reuse across calls), events below from are
+// dropped, and the remainder is freshly encoded onto dst. This is the
+// one encode shared-frame plumbing ever pays — a resume or a relay
+// adoption landing mid-frame, at most once per (re)connection. evs is
+// the decode buffer for recycling (evs[:0] as the next scratch). ok is
+// false when the payload is not canonical or from lies outside the
+// frame's sequence run (before its first event or past one-off its
+// end).
+func SuffixBatch(dst, payload []byte, from uint64, scratch []osn.Event) (out []byte, evs []osn.Event, ok bool) {
+	seq, evs, ok := ParseBatch(payload, scratch)
+	if !ok || from < seq || from-seq > uint64(len(evs)) {
+		return dst, evs, false
+	}
+	return AppendBatch(dst, from, evs[from-seq:]), evs, true
+}
+
 func parseBatch(payload []byte, prefix string, dst []osn.Event) (seq uint64, evs []osn.Event, ok bool) {
 	c := batchCursor{b: payload}
 	if !c.lit(prefix) {

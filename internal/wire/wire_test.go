@@ -166,3 +166,39 @@ func TestPBatchCodecRoundTrip(t *testing.T) {
 		t.Fatal("ParsePBatch accepted a batch payload")
 	}
 }
+
+// TestSuffixBatch pins the mid-frame re-encode: the suffix starting at
+// any sequence inside a canonical payload's run must be byte-identical
+// to a fresh encode of the trailing events — this is what a resumed
+// subscriber (and a relay adopting a straddling resend) receives as
+// its first frame.
+func TestSuffixBatch(t *testing.T) {
+	events := []osn.Event{
+		{Type: osn.EvFriendRequest, At: 10, Actor: 1, Target: 2},
+		{Type: osn.EvFriendAccept, At: 11, Actor: 2, Target: 1},
+		{Type: osn.EvBlogShare, At: 12, Actor: 3, Target: 4, Aux: 9},
+	}
+	payload := AppendBatch(nil, 5, events)
+	var scratch []osn.Event
+	for from := uint64(5); from <= 8; from++ {
+		var got []byte
+		var ok bool
+		got, scratch, ok = SuffixBatch(nil, payload, from, scratch[:0])
+		if !ok {
+			t.Fatalf("suffix from %d rejected", from)
+		}
+		want := AppendBatch(nil, from, events[from-5:])
+		if string(got) != string(want) {
+			t.Fatalf("suffix from %d: %s, want %s", from, got, want)
+		}
+	}
+	if _, _, ok := SuffixBatch(nil, payload, 4, nil); ok {
+		t.Fatal("accepted a suffix before the frame's run")
+	}
+	if _, _, ok := SuffixBatch(nil, payload, 9, nil); ok {
+		t.Fatal("accepted a suffix past the frame's run")
+	}
+	if _, _, ok := SuffixBatch(nil, AppendPBatch(nil, 5, events), 6, nil); ok {
+		t.Fatal("accepted a pbatch payload")
+	}
+}
